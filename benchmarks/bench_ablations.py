@@ -1,0 +1,83 @@
+"""A1/A2/A3 — ablations of DNN-Opt design choices.
+
+* elite-population size (the paper's population-based search-space control);
+* exploration noise and the boundary penalty lambda (Eq. 5-6);
+* sensitivity threshold for the industrial recipe (Eq. 7).
+"""
+
+import numpy as np
+
+from repro.circuits import LDORegulator
+from repro.core import DNNOpt
+from repro.experiments import render_table
+from repro.problems import ConstrainedSphere
+from repro.sensitivity import reduce_problem, sensitivity_analysis
+
+BUDGET = 40
+SEEDS = (0,)
+
+
+def _run_dnnopt(problem, seed, **kw):
+    defaults = dict(n_init=10, n_elite=8, critic_epochs=10, actor_epochs=12,
+                    max_pseudo=2000)
+    defaults.update(kw)
+    return DNNOpt(problem, BUDGET, seed, **defaults).run()
+
+
+def _mean_best_fom(**kw):
+    values = [_run_dnnopt(ConstrainedSphere(5), seed, **kw).best_fom
+              for seed in SEEDS]
+    return float(np.mean(values))
+
+
+def test_bench_elite_size_ablation(benchmark):
+    def run():
+        return [(n, _mean_best_fom(n_elite=n)) for n in (4, 8, 16)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(["n_elite", "mean best FoM"], rows,
+                              title="A1: elite-population size"))
+    assert all(np.isfinite(v) for _, v in rows)
+
+
+def test_bench_noise_and_penalty_ablation(benchmark):
+    def run():
+        rows = []
+        for noise in (0.0, 0.1, 0.3):
+            rows.append((f"noise={noise}", _mean_best_fom(exploration_noise=noise)))
+        for lam in (0.0, 100.0):
+            rows.append((f"lambda={lam:g}",
+                         _mean_best_fom(boundary_penalty=max(lam, 1e-9))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(["setting", "mean best FoM"], rows,
+                              title="A2: exploration noise / boundary penalty"))
+    assert all(np.isfinite(v) for _, v in rows)
+
+
+def test_bench_sensitivity_threshold_ablation(benchmark):
+    """A3: looser thresholds keep more variables; sims-to-feasible reacts."""
+    circuit = LDORegulator()
+    problem = circuit.problem()
+    nominal = np.array([circuit.nominal()[n] for n in problem.space.names])
+
+    def run():
+        sens = sensitivity_analysis(problem, nominal, step=0.1)
+        rows = []
+        for threshold in (0.01, 0.1, 1.0):
+            reduced = reduce_problem(problem, sens, threshold=threshold, min_keep=2)
+            history = DNNOpt(reduced, BUDGET, seed=1, n_init=8, n_elite=5,
+                             critic_epochs=8, actor_epochs=10, max_pseudo=1000,
+                             initial_designs=nominal[reduced.keep_columns][None, :],
+                             stop_when_feasible=True).run()
+            first = history.evals_to_first_feasible
+            rows.append((threshold, reduced.dim,
+                         str(first) if first else f">{history.n_evals}"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(["threshold", "kept vars", "sims to feasible"], rows,
+                              title="A3: sensitivity threshold (LDO)"))
+    dims = [dim for _, dim, _ in rows]
+    assert dims == sorted(dims, reverse=True), "higher threshold keeps fewer vars"

@@ -1,0 +1,72 @@
+"""P1 — engine micro-benchmarks: simulator, GP and critic primitives.
+
+These are true pytest-benchmark timings (multiple rounds) of the hot paths
+the experiment harness exercises thousands of times.
+"""
+
+import numpy as np
+
+from repro.circuits import FoldedCascodeOTA
+from repro.core import Critic, generate_pseudo_samples
+from repro.gp import GaussianProcess
+from repro.spice import ac_analysis, operating_point, transient
+
+
+def test_bench_ota_operating_point(benchmark):
+    ota = FoldedCascodeOTA()
+    circuit = ota.build(ota.nominal())
+    nodeset = ota._nodeset()
+
+    result = benchmark(lambda: operating_point(circuit, nodeset=nodeset))
+    assert result.v("vout") > 0.5
+
+
+def test_bench_ota_ac_sweep(benchmark):
+    ota = FoldedCascodeOTA()
+    circuit = ota.build(ota.nominal())
+    op = operating_point(circuit, nodeset=ota._nodeset())
+    freqs = np.logspace(1, 9, 61)
+
+    result = benchmark(lambda: ac_analysis(circuit, op, freqs))
+    assert len(result.freqs) == 61
+
+
+def test_bench_latch_transient(benchmark):
+    from repro.circuits import StrongArmLatch
+
+    latch = StrongArmLatch()
+    circuit = latch.build(latch.nominal())
+
+    result = benchmark.pedantic(
+        lambda: transient(circuit, 40e-12, 26e-9,
+                          ics={"vdd": 1.2, "q1": 1.2, "q2": 1.2, "x1": 1.2, "x2": 1.2}),
+        rounds=3, iterations=1)
+    assert len(result.t) > 100
+
+
+def test_bench_critic_training(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(60, 20))
+    Y = rng.normal(size=(60, 30))
+    inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=3000)
+
+    def train():
+        critic = Critic(20, 30, epochs=10, rng=np.random.default_rng(1))
+        critic.fit(inputs, targets)
+        return critic
+
+    critic = benchmark.pedantic(train, rounds=3, iterations=1)
+    assert critic.predict(X[:2], np.zeros((2, 20))).shape == (2, 30)
+
+
+def test_bench_gp_fit(benchmark):
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(100, 10))
+    y = np.sin(X.sum(axis=1))
+
+    def fit():
+        return GaussianProcess(dim=10).fit(X, y, restarts=1, rng=np.random.default_rng(3))
+
+    gp = benchmark.pedantic(fit, rounds=3, iterations=1)
+    mean, _ = gp.predict(X[:5])
+    assert mean.shape == (5,)

@@ -1,0 +1,16 @@
+"""E6 — Figure 4: average FoM convergence on the StrongARM latch."""
+
+import numpy as np
+
+from repro.experiments import render_fom_figure
+
+from _shared import latch_comparison
+
+
+def test_bench_fig4_fom_curves(benchmark):
+    result = benchmark.pedantic(latch_comparison, rounds=1, iterations=1)
+    curves = result["curves"]
+    print("\n" + render_fom_figure(curves, "Figure 4: StrongARM latch average FoM "
+                                           "(lower is better)"))
+    for curve in curves.values():
+        assert np.all(np.diff(curve) <= 1e-9)

@@ -1,0 +1,10 @@
+"""E1 — Table I: folded-cascode design parameters and ranges."""
+
+from repro.circuits import FoldedCascodeOTA
+from repro.experiments import run_parameter_table
+
+
+def test_bench_table1_parameter_ranges(benchmark):
+    table = benchmark(run_parameter_table, FoldedCascodeOTA())
+    print("\n" + table)
+    assert "W1" in table and "MCAP" in table and "Cf" in table

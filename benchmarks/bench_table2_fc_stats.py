@@ -1,0 +1,25 @@
+"""E2 — Table II: folded-cascode statistics for DE / BO-wEI / GASPAD / DNN-Opt.
+
+Prints the same rows as the paper: success rate, simulations to first
+feasible design, min/max/mean power of the final feasible designs, and
+modeling/simulation time.  The expected *shape* (DNN-Opt most sample
+efficient, DE most simulation hungry, BO modeling time largest) should hold
+at any scale; absolute values depend on the substitute simulator.
+"""
+
+from repro.experiments import render_stats_table
+
+from _shared import folded_cascode_comparison
+
+
+def test_bench_table2_folded_cascode(benchmark):
+    result = benchmark.pedantic(folded_cascode_comparison, rounds=1, iterations=1)
+    table = render_stats_table(result["stats"], objective_label="power (mW)",
+                               unit_scale=1e-3,
+                               title="Table II: folded-cascode OTA "
+                                     f"({result['scale'].label})")
+    print("\n" + table)
+    stats = result["stats"]
+    assert set(stats) == {"DE", "BO-wEI", "GASPAD", "DNN-Opt"}
+    # Modeling time ordering: the DNN surrogate must be far cheaper than BO.
+    assert stats["DNN-Opt"].mean_modeling_time_s < stats["BO-wEI"].mean_modeling_time_s

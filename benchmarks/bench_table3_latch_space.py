@@ -1,0 +1,10 @@
+"""E4 — Table III: StrongARM latch design parameters and ranges."""
+
+from repro.circuits import StrongArmLatch
+from repro.experiments import run_parameter_table
+
+
+def test_bench_table3_parameter_ranges(benchmark):
+    table = benchmark(run_parameter_table, StrongArmLatch())
+    print("\n" + table)
+    assert "CL_finger" in table

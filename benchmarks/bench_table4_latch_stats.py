@@ -1,0 +1,15 @@
+"""E5 — Table IV: StrongARM latch statistics for the four algorithms."""
+
+from repro.experiments import render_stats_table
+
+from _shared import latch_comparison
+
+
+def test_bench_table4_strongarm_latch(benchmark):
+    result = benchmark.pedantic(latch_comparison, rounds=1, iterations=1)
+    table = render_stats_table(result["stats"], objective_label="power (uW)",
+                               unit_scale=1e-6,
+                               title="Table IV: StrongARM latch "
+                                     f"({result['scale'].label})")
+    print("\n" + table)
+    assert set(result["stats"]) == {"DE", "BO-wEI", "GASPAD", "DNN-Opt"}

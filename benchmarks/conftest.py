@@ -1,0 +1,6 @@
+"""Make the benchmark helpers importable and show printed tables."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

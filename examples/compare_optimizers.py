@@ -1,0 +1,30 @@
+"""Reproduce the Figure 3/4 experiment shape on the StrongARM latch.
+
+Runs DE, BO-wEI, GASPAD and DNN-Opt on the latch sizing problem and plots
+the average FoM convergence as ASCII (the paper's Figures 3/4).  Budgets are
+scaled down for a quick demonstration; set ``REPRO_FULL=1`` for the paper's
+protocol.
+
+    python examples/compare_optimizers.py
+"""
+
+from repro.circuits import StrongArmLatch
+from repro.experiments import (
+    ExperimentScale,
+    render_fom_figure,
+    render_stats_table,
+    run_building_block_comparison,
+)
+
+if __name__ == "__main__":
+    scale = ExperimentScale(n_trials=1, budget=40, de_budget=120,
+                            industrial_budget=40, sa_budget=100)
+    result = run_building_block_comparison(StrongArmLatch, scale=scale, verbose=True)
+
+    print()
+    print(render_stats_table(result["stats"], objective_label="power (uW)",
+                             unit_scale=1e-6,
+                             title=f"StrongARM latch ({scale.label})"))
+    print()
+    print(render_fom_figure(result["curves"],
+                            "Average FoM vs simulations (lower is better)"))

@@ -1,0 +1,38 @@
+"""Quickstart: size the paper's folded-cascode OTA with DNN-Opt.
+
+Runs a deliberately small budget so it finishes in about a minute; raise
+``BUDGET`` toward the paper's 500 for a serious sizing run.
+
+    python examples/quickstart.py
+"""
+
+from repro import DNNOpt
+from repro.circuits import FoldedCascodeOTA
+
+BUDGET = 60
+
+if __name__ == "__main__":
+    circuit = FoldedCascodeOTA()
+    problem = circuit.problem()
+    print(problem.describe())
+    print()
+
+    optimizer = DNNOpt(problem, budget=BUDGET, seed=0, n_init=20)
+    history = optimizer.run()
+
+    print(f"simulations used      : {history.n_evals}")
+    print(f"best FoM              : {history.best_fom:.4f}")
+    print(f"first feasible at sim : {history.evals_to_first_feasible}")
+    if history.best_feasible_objective is not None:
+        print(f"best feasible power   : {history.best_feasible_objective * 1e3:.3f} mW")
+
+    best = problem.space.as_dict(history.best_x)
+    print("\nbest design:")
+    for name, value in best.items():
+        print(f"  {name:6s} = {value:.4g}")
+
+    print("\nmeasured specs of the best design:")
+    measured = problem.measure_dict(history.best_x)
+    for spec in problem.specs[:9]:  # the scalar performance specs
+        status = "PASS" if spec.satisfied(measured[spec.name]) else "FAIL"
+        print(f"  {spec.describe():42s} measured {measured[spec.name]:.4g}  [{status}]")

@@ -1,0 +1,53 @@
+"""Tour of the repro.spice simulator on a two-stage amplifier testbench.
+
+Shows the analyses the circuit testbenches are built from: operating point,
+AC gain/phase, transient step response and integrated output noise — all on
+the paper's folded-cascode OTA at its nominal sizing.
+
+    python examples/simulator_tour.py
+"""
+
+import numpy as np
+
+from repro.circuits import FoldedCascodeOTA
+from repro.spice import ac_analysis, noise_analysis, operating_point, transient, waveform
+from repro.spice.units import format_eng
+
+if __name__ == "__main__":
+    ota = FoldedCascodeOTA()
+    amp = ota.build(ota.nominal())
+
+    # --- operating point -------------------------------------------------
+    op = operating_point(amp, nodeset=ota._nodeset())
+    print("operating point:")
+    print(f"  supply power : {format_eng(abs(op.source_power('VDD')), 'W')}")
+    for name in ("M1", "M5", "M9", "M11"):
+        mop = op.mosfet_op(name)
+        print(f"  {name:4s} id={format_eng(mop.ids, 'A'):>10s} gm={format_eng(mop.gm, 'S'):>10s} "
+              f"region={mop.region}")
+
+    # --- AC --------------------------------------------------------------
+    freqs = np.logspace(1, 9, 121)
+    ac = ac_analysis(amp, op, freqs)
+    h = ac.v("vout")
+    print("\nopen-loop AC:")
+    print(f"  DC gain      : {waveform.dc_gain_db(h):.1f} dB")
+    print(f"  unity gain   : {format_eng(waveform.unity_gain_frequency(freqs, h), 'Hz')}")
+    print(f"  phase margin : {waveform.phase_margin(freqs, h):.1f} deg")
+
+    # --- transient (unity-gain buffer step) -------------------------------
+    buffer_tb = ota.build(ota.nominal(), feedback=True, step_input=True)
+    tran = transient(buffer_tb, 1.5e-9, 2e-7, ics=ota._nodeset())
+    final = waveform.steady_state(tran.v("vout"))
+    print("\nclosed-loop step response:")
+    print(f"  final value  : {final:.4f} V (target {ota.vcm + 0.25:.2f} V)")
+    print(f"  overshoot    : {100 * waveform.overshoot(tran.v('vout')):.1f} %")
+
+    # --- noise -------------------------------------------------------------
+    buffer_nz = ota.build(ota.nominal(), feedback=True)
+    op_nz = operating_point(buffer_nz, nodeset=ota._nodeset())
+    noise = noise_analysis(buffer_nz, op_nz, np.logspace(1, 9, 31), "vout")
+    print("\nnoise (closed loop):")
+    print(f"  integrated   : {format_eng(noise.output_rms(), 'Vrms')}")
+    for name, variance in noise.dominant_contributors(3):
+        print(f"  {name:20s} {format_eng(np.sqrt(variance), 'Vrms')}")

@@ -1,0 +1,40 @@
+"""DNN-Opt reproduction (Budak et al., DAC 2021).
+
+An RL-inspired two-stage DNN black-box optimizer for analog circuit sizing,
+together with everything needed to reproduce the paper end-to-end offline:
+
+* :mod:`repro.nn` — NumPy autograd + MLP substrate (PyTorch substitute);
+* :mod:`repro.spice` — a from-scratch SPICE-class circuit simulator;
+* :mod:`repro.circuits` — the paper's six benchmark circuits;
+* :mod:`repro.problems` — constrained-problem abstraction + synthetic suite;
+* :mod:`repro.core` — DNN-Opt itself (Algorithm 1);
+* :mod:`repro.gp` / :mod:`repro.baselines` — DE, BO-wEI, GASPAD, SA;
+* :mod:`repro.sensitivity` — Eq. 7 critical-device identification;
+* :mod:`repro.experiments` — per-table/figure reproduction harness.
+
+Quickstart::
+
+    from repro import DNNOpt
+    from repro.circuits import FoldedCascodeOTA
+
+    problem = FoldedCascodeOTA().problem()
+    history = DNNOpt(problem, budget=200, seed=0).run()
+    print(history.summary())
+"""
+
+from .core import DNNOpt, OptimizationHistory, Optimizer
+from .problems import DesignSpace, Objective, OptimizationProblem, Spec, Variable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DNNOpt",
+    "Optimizer",
+    "OptimizationHistory",
+    "OptimizationProblem",
+    "DesignSpace",
+    "Variable",
+    "Spec",
+    "Objective",
+    "__version__",
+]

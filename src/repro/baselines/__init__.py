@@ -1,0 +1,15 @@
+"""Baseline optimizers the paper compares against."""
+
+from .bo_wei import BOwEI
+from .de import DifferentialEvolution
+from .gaspad import GASPAD
+from .random_search import RandomSearch
+from .simulated_annealing import SimulatedAnnealing
+
+__all__ = [
+    "RandomSearch",
+    "DifferentialEvolution",
+    "SimulatedAnnealing",
+    "BOwEI",
+    "GASPAD",
+]

@@ -1,0 +1,18 @@
+"""Uniform random search — the sanity-check floor for every comparison."""
+
+from __future__ import annotations
+
+from ..core.history import Optimizer
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(Optimizer):
+    """Sample the design space uniformly until the budget is exhausted."""
+
+    name = "Random"
+
+    def _run(self) -> None:
+        while True:
+            x = self.problem.space.sample(self.rng, 1)[0]
+            self.evaluate(x)

@@ -1,0 +1,73 @@
+"""Adaptive simulated annealing.
+
+Stand-in for the commercial SA-based black-box optimizer the paper uses as
+its industrial baseline (Table V).  Standard Metropolis acceptance on the
+FoM with geometric cooling and step-size adaptation toward a target
+acceptance rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fom import fom_from_raw
+from ..core.history import Optimizer
+
+__all__ = ["SimulatedAnnealing"]
+
+
+class SimulatedAnnealing(Optimizer):
+    """Metropolis SA over the normalized design cube."""
+
+    name = "SA"
+
+    def __init__(self, problem, budget: int, seed: int = 0, *,
+                 initial_temperature: float | None = None,
+                 cooling: float = 0.97, steps_per_temperature: int = 10,
+                 initial_step: float = 0.25, target_acceptance: float = 0.4,
+                 x0: np.ndarray | None = None,
+                 stop_when_feasible: bool = False):
+        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible)
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        self.initial_temperature = initial_temperature
+        self.cooling = float(cooling)
+        self.steps_per_temperature = int(steps_per_temperature)
+        self.initial_step = float(initial_step)
+        self.target_acceptance = float(target_acceptance)
+        self.x0 = None if x0 is None else np.asarray(x0, dtype=np.float64).ravel()
+
+    def _run(self) -> None:
+        space = self.problem.space
+        if self.x0 is not None:
+            current = space.normalize(space.round(self.x0))
+        else:
+            current = space.normalize(space.sample(self.rng, 1)[0])
+        f_raw = self.evaluate(space.denormalize(current))
+        current_fom = float(fom_from_raw(self.problem, f_raw[None, :])[0])
+
+        temperature = self.initial_temperature
+        if temperature is None:
+            # Calibrate so a typical early uphill move is accepted ~50%.
+            temperature = max(0.3 * abs(current_fom), 0.1)
+        step = self.initial_step
+
+        while True:
+            accepted = 0
+            for _ in range(self.steps_per_temperature):
+                proposal = current + self.rng.normal(0.0, step, size=space.dim)
+                proposal = np.clip(proposal, 0.0, 1.0)
+                f_raw = self.evaluate(space.denormalize(proposal))
+                proposal_fom = float(fom_from_raw(self.problem, f_raw[None, :])[0])
+                delta = proposal_fom - current_fom
+                if delta <= 0 or self.rng.random() < np.exp(-delta / max(temperature, 1e-12)):
+                    current = proposal
+                    current_fom = proposal_fom
+                    accepted += 1
+            # Adapt the neighbourhood toward the target acceptance rate.
+            rate = accepted / self.steps_per_temperature
+            if rate > self.target_acceptance:
+                step = min(step * 1.2, 0.5)
+            else:
+                step = max(step * 0.85, 1e-3)
+            temperature *= self.cooling

@@ -1,0 +1,29 @@
+"""Benchmark circuits: the paper's two building blocks and four industrial
+cases, each exposed as a :class:`~repro.circuits.base.SizingCircuit`."""
+
+from .base import CircuitSizingProblem, SizingCircuit
+from .ctle import CTLE
+from .folded_cascode import FoldedCascodeOTA
+from .inverter_chain import InverterChain
+from .ldo import LDORegulator
+from .level_shifter import LevelShifter
+from .strongarm_latch import StrongArmLatch
+
+__all__ = [
+    "SizingCircuit",
+    "CircuitSizingProblem",
+    "FoldedCascodeOTA",
+    "StrongArmLatch",
+    "InverterChain",
+    "LevelShifter",
+    "LDORegulator",
+    "CTLE",
+]
+
+#: the four industrial circuits of Table V, keyed as in the paper
+INDUSTRIAL_CIRCUITS = {
+    "inverter_chain": InverterChain,
+    "level_shifter": LevelShifter,
+    "ldo": LDORegulator,
+    "ctle": CTLE,
+}

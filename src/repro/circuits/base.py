@@ -1,0 +1,99 @@
+"""Bridge between parameterized circuits and optimization problems.
+
+A :class:`SizingCircuit` owns the design-variable list (the paper's Tables
+I/III), the spec list (Eq. 9/10), a netlist builder, and the testbench
+measurements.  :class:`CircuitSizingProblem` adapts it to the
+:class:`~repro.problems.base.OptimizationProblem` interface every optimizer
+consumes; simulator convergence failures become penalized evaluations
+instead of crashes (real sizing loops hit non-convergent corners too).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..problems.base import (
+    DesignSpace,
+    EvaluationFailure,
+    Objective,
+    OptimizationProblem,
+    Spec,
+    Variable,
+)
+from ..spice.errors import SpiceError
+
+__all__ = ["SizingCircuit", "CircuitSizingProblem"]
+
+
+class SizingCircuit(ABC):
+    """A parameterized circuit with testbench measurements.
+
+    Subclasses define class attributes/methods:
+
+    * :meth:`variables` — the design variables (name, bounds, kind, unit);
+    * :meth:`objective` — the minimization target;
+    * :meth:`specs` — the constraint list;
+    * :meth:`measure` — run all testbenches for one sizing and return a
+      ``{metric_name: value}`` mapping covering the objective and every spec.
+    """
+
+    name = "circuit"
+
+    @abstractmethod
+    def variables(self) -> list[Variable]:
+        ...
+
+    @abstractmethod
+    def objective(self) -> Objective:
+        ...
+
+    @abstractmethod
+    def specs(self) -> list[Spec]:
+        ...
+
+    @abstractmethod
+    def measure(self, params: dict[str, float]) -> dict[str, float]:
+        ...
+
+    def nominal(self) -> dict[str, float]:
+        """Designer starting point (mid-range by default)."""
+        return {v.name: 0.5 * (v.lower + v.upper) for v in self.variables()}
+
+    def space(self) -> DesignSpace:
+        return DesignSpace(self.variables())
+
+    def problem(self) -> "CircuitSizingProblem":
+        """The optimization problem for this circuit."""
+        return CircuitSizingProblem(self)
+
+    def parameter_table(self) -> list[tuple[str, str, float, float]]:
+        """Rows (name, unit, lower, upper) — regenerates Tables I/III."""
+        return [(v.name, v.unit, v.lower, v.upper) for v in self.variables()]
+
+
+class CircuitSizingProblem(OptimizationProblem):
+    """OptimizationProblem adapter around a :class:`SizingCircuit`."""
+
+    def __init__(self, circuit: SizingCircuit):
+        self.circuit = circuit
+        super().__init__(circuit.space(), circuit.objective(), circuit.specs(),
+                         name=circuit.name)
+        self._metric_order = self.metric_names
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        params = self.space.as_dict(x)
+        try:
+            measured = self.circuit.measure(params)
+        except SpiceError as exc:
+            raise EvaluationFailure(str(exc)) from exc
+        missing = [m for m in self._metric_order if m not in measured]
+        if missing:
+            raise KeyError(f"{self.circuit.name}: measure() missing metrics {missing}")
+        return np.array([measured[m] for m in self._metric_order])
+
+    def measure_dict(self, x: np.ndarray) -> dict[str, float]:
+        """Convenience: raw metric mapping for one design vector."""
+        row = self.evaluate(x)
+        return dict(zip(self._metric_order, row))

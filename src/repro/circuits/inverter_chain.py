@@ -1,0 +1,97 @@
+"""Inverter chain — the paper's tool-development industrial case (Table V).
+
+Four-stage CMOS inverter chain at an advanced node: all eight transistor
+widths are design variables and the two specs are propagation delay and
+average power, exactly as described in Section III-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..problems.base import Objective, Spec, Variable
+from ..spice import Circuit, NMOS_7, PMOS_7, Pulse, transient
+from ..spice.waveform import delay_between
+from ..spice.errors import AnalysisError
+from .base import SizingCircuit
+
+__all__ = ["InverterChain"]
+
+
+class InverterChain(SizingCircuit):
+    """Four-stage inverter chain: 8 width variables, delay + power specs."""
+
+    name = "inverter_chain"
+
+    def __init__(self, vdd: float = 0.9, c_load: float = 50e-15,
+                 *, period: float = 4e-9, tran_step: float = 10e-12):
+        self.vdd = float(vdd)
+        self.c_load = float(c_load)
+        self.period = float(period)
+        self.tran_step = float(tran_step)
+
+    def variables(self) -> list[Variable]:
+        variables = []
+        for stage in range(1, 5):
+            variables.append(Variable(f"WN{stage}", 0.1, 20.0, unit="um"))
+            variables.append(Variable(f"WP{stage}", 0.1, 40.0, unit="um"))
+        return variables
+
+    def objective(self) -> Objective:
+        return Objective("power_w", scale=100e-6, weight=1.0, unit="W")
+
+    def specs(self) -> list[Spec]:
+        return [
+            Spec("delay_rise_s", "max", 16e-12, unit="s"),
+            Spec("delay_fall_s", "max", 16e-12, unit="s"),
+        ]
+
+    def nominal(self) -> dict[str, float]:
+        sizes = {}
+        for stage, scale in zip(range(1, 5), (1.0, 2.0, 4.0, 8.0)):
+            sizes[f"WN{stage}"] = 0.5 * scale
+            sizes[f"WP{stage}"] = 1.0 * scale
+        return sizes
+
+    def build(self, params: dict[str, float]) -> Circuit:
+        p = {k: float(v) for k, v in params.items()}
+        um = 1e-6
+        length = 0.05e-6  # minimum length at the advanced node
+
+        c = Circuit(self.name)
+        c.vsource("VDD", "vdd", "0", self.vdd)
+        stimulus = Pulse(0.0, self.vdd, delay=0.5e-9, rise=20e-12, fall=20e-12,
+                         width=self.period / 2, period=self.period)
+        c.vsource("VIN", "n0", "0", stimulus)
+        for stage in range(1, 5):
+            src = f"n{stage - 1}"
+            dst = f"n{stage}"
+            c.mosfet(f"MN{stage}", dst, src, "0", "0", NMOS_7,
+                     p[f"WN{stage}"] * um, length)
+            c.mosfet(f"MP{stage}", dst, src, "vdd", "vdd", PMOS_7,
+                     p[f"WP{stage}"] * um, length)
+        c.capacitor("CL", "n4", "0", self.c_load)
+        return c
+
+    def measure(self, params: dict[str, float]) -> dict[str, float]:
+        circuit = self.build(params)
+        tran = transient(circuit, self.tran_step, 1.5 * self.period,
+                         ics={"vdd": self.vdd})
+        t = tran.t
+        v_in = tran.v("n0")
+        v_out = tran.v("n4")
+        mid = self.vdd / 2
+        window = self.period
+        # Even number of stages: output follows the input polarity.
+        try:
+            rise = delay_between(t, v_in, v_out, mid, mid, "rise", "rise")
+        except AnalysisError:
+            rise = window
+        try:
+            fall = delay_between(t, v_in, v_out, mid, mid, "fall", "fall")
+        except AnalysisError:
+            fall = window
+        i_vdd = tran.i("VDD")
+        power = abs(np.trapezoid(i_vdd * self.vdd, t)) / (t[-1] - t[0])
+        return {"delay_rise_s": float(rise), "delay_fall_s": float(fall),
+                "power_w": float(power)}

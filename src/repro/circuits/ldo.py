@@ -1,0 +1,151 @@
+"""Low-dropout regulator — industrial case 3 of Table V.
+
+Five-transistor error amplifier driving a PMOS pass device with a
+resistive feedback divider, output capacitor and DC load.  The paper's LDO
+has 167k devices (arrayed instances) reduced by sensitivity analysis to
+six critical devices; this model exposes exactly those six degrees of
+freedom (pass device and error-amp geometry).  Loop gain is measured by
+breaking the loop at the error-amp feedback input with the L/C servo
+(closed at DC, open for AC), the same *stb* technique as the OTA bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..problems.base import Objective, Spec, Variable
+from ..spice import Circuit, NMOS_7, PMOS_7, ac_analysis, operating_point, waveform
+from .base import SizingCircuit
+from .testbench import ac_frequencies, extract_loop_metrics
+
+__all__ = ["LDORegulator"]
+
+_SERVO_L = 1e6   # H
+_SERVO_C = 1.0   # F
+
+
+class LDORegulator(SizingCircuit):
+    """Six-variable LDO: error amp + PMOS pass device + divider."""
+
+    name = "ldo"
+
+    def __init__(self, vdd: float = 1.8, vref: float = 0.9, vout_target: float = 1.5,
+                 i_load: float = 2e-3, c_out: float = 50e-12, ibias: float = 10e-6):
+        self.vdd = float(vdd)
+        self.vref = float(vref)
+        self.vout_target = float(vout_target)
+        self.i_load = float(i_load)
+        self.c_out = float(c_out)
+        self.ibias = float(ibias)
+
+    def variables(self) -> list[Variable]:
+        return [
+            Variable("W_PASS", 50.0, 2000.0, unit="um"),
+            Variable("L_PASS", 0.05, 0.5, unit="um"),
+            Variable("W_IN", 0.5, 50.0, unit="um"),
+            Variable("W_MIR", 0.5, 50.0, unit="um"),
+            Variable("W_TAIL", 0.5, 50.0, unit="um"),
+            Variable("L_AMP", 0.05, 1.0, unit="um"),
+        ]
+
+    def objective(self) -> Objective:
+        return Objective("quiescent_power_w", scale=200e-6, weight=1.0, unit="W")
+
+    def specs(self) -> list[Spec]:
+        return [
+            Spec("dc_gain_db", "min", 40.0, unit="dB"),
+            Spec("gbw_hz", "min", 2e6, unit="Hz"),
+            Spec("phase_margin_deg", "min", 45.0, unit="deg"),
+            Spec("gain_margin_db", "min", 8.0, unit="dB"),
+            Spec("psrr_db", "min", 30.0, unit="dB"),
+            Spec("vout_error_v", "max", 30e-3, unit="V"),
+            Spec("quiescent_current_a", "max", 150e-6, unit="A"),
+            Spec("pass_sat_margin_v", "min", 20e-3, unit="V"),
+            Spec("amp_sat_margin_v", "min", 20e-3, unit="V"),
+        ]
+
+    def nominal(self) -> dict[str, float]:
+        return {"W_PASS": 800.0, "L_PASS": 0.1, "W_IN": 10.0, "W_MIR": 8.0,
+                "W_TAIL": 10.0, "L_AMP": 0.2}
+
+    # ------------------------------------------------------------------
+    def build(self, params: dict[str, float], *, closed: bool = False) -> Circuit:
+        """``closed=True`` wires the divider tap straight to the error amp
+        (true closed loop, for PSRR); otherwise the L/C loop-break servo is
+        inserted for the loop-gain measurement."""
+        p = {k: float(v) for k, v in params.items()}
+        um = 1e-6
+        l_amp = p["L_AMP"] * um
+
+        # Divider sets vfb = 0.6 * vout -> vout = vref / 0.6 = 1.5 V.
+        r_total = 100e3
+        r_bottom = r_total * self.vref / self.vout_target
+        r_top = r_total - r_bottom
+
+        c = Circuit(self.name)
+        c.vsource("VDD", "vdd", "0", self.vdd)
+        c.vsource("VREF", "vref", "0", self.vref)
+        if closed:
+            # Zero-volt source keeps fbin as a separate node name.
+            c.vsource("VSHORT", "fb", "fbin", 0.0)
+        else:
+            # Loop-break servo: DC feedback via LSRV, AC injection via CSRV.
+            c.vsource("VINJ", "vinj", "0", 0.0, ac=1.0)
+            c.capacitor("CSRV", "vinj", "fbin", _SERVO_C)
+            c.inductor("LSRV", "fb", "fbin", _SERVO_L)
+
+        # Error amplifier: NMOS pair, PMOS mirror, NMOS tail.
+        c.isource("IB", "vdd", "nbias", self.ibias)
+        c.mosfet("MB", "nbias", "nbias", "0", "0", NMOS_7, p["W_TAIL"] * um, l_amp)
+        c.mosfet("MT", "tail", "nbias", "0", "0", NMOS_7, p["W_TAIL"] * um, l_amp, m=2)
+        c.mosfet("M1", "d1", "fbin", "tail", "0", NMOS_7, p["W_IN"] * um, l_amp)
+        c.mosfet("M2", "vg", "vref", "tail", "0", NMOS_7, p["W_IN"] * um, l_amp)
+        c.mosfet("M3", "d1", "d1", "vdd", "vdd", PMOS_7, p["W_MIR"] * um, l_amp)
+        c.mosfet("M4", "vg", "d1", "vdd", "vdd", PMOS_7, p["W_MIR"] * um, l_amp)
+
+        # Pass device, divider, load.
+        c.mosfet("MPASS", "vout", "vg", "vdd", "vdd", PMOS_7,
+                 p["W_PASS"] * um, p["L_PASS"] * um)
+        c.resistor("R1", "vout", "fb", r_top)
+        c.resistor("R2", "fb", "0", r_bottom)
+        c.isource("ILOAD", "vout", "0", self.i_load)
+        c.capacitor("COUT", "vout", "0", self.c_out)
+        return c
+
+    def _nodeset(self) -> dict[str, float]:
+        return {"vdd": self.vdd, "vref": self.vref, "vout": self.vout_target,
+                "fb": self.vref, "fbin": self.vref, "vg": self.vdd - 0.4,
+                "d1": self.vdd - 0.4, "tail": 0.25, "nbias": 0.45}
+
+    def measure(self, params: dict[str, float]) -> dict[str, float]:
+        circuit = self.build(params)
+        op = operating_point(circuit, nodeset=self._nodeset())
+        results: dict[str, float] = {}
+
+        vout = op.v("vout")
+        results["vout_error_v"] = abs(vout - self.vout_target)
+        supply_current = abs(op.i("VDD"))
+        quiescent = max(supply_current - self.i_load, 0.0) + self.ibias
+        results["quiescent_current_a"] = quiescent
+        results["quiescent_power_w"] = quiescent * self.vdd
+        results["pass_sat_margin_v"] = op.mosfet_op("MPASS").saturation_margin
+        results["amp_sat_margin_v"] = min(op.mosfet_op(m).saturation_margin
+                                          for m in ("M1", "M2", "MT"))
+
+        # Loop gain via the injection servo.
+        freqs = ac_frequencies(10.0, 1e9, 61)
+        ac = ac_analysis(circuit, op, freqs)
+        loop = ac.v("fb")
+        metrics = extract_loop_metrics(freqs, loop)
+        results["dc_gain_db"] = metrics["dc_gain_db"]
+        results["gbw_hz"] = metrics["ugf_hz"]
+        results["phase_margin_deg"] = metrics["phase_margin_deg"]
+        results["gain_margin_db"] = min(waveform.gain_margin_db(freqs, loop), 60.0)
+
+        # PSRR: true closed-loop vdd -> vout rejection at low frequency.
+        closed = self.build(params, closed=True)
+        closed["VDD"].ac = 1.0
+        op_closed = operating_point(closed, nodeset=self._nodeset())
+        psr = ac_analysis(closed, op_closed, freqs[:6])
+        results["psrr_db"] = -waveform.dc_gain_db(psr.v("vout"))
+        return results

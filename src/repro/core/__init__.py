@@ -1,0 +1,20 @@
+"""DNN-Opt core: FoM, pseudo-samples, actor-critic networks, Algorithm 1."""
+
+from .actor import Actor
+from .critic import Critic
+from .dnn_opt import DNNOpt
+from .fom import fom_from_raw, fom_normalized, fom_tensor
+from .history import OptimizationHistory, Optimizer
+from .pseudo import generate_pseudo_samples
+
+__all__ = [
+    "DNNOpt",
+    "Actor",
+    "Critic",
+    "Optimizer",
+    "OptimizationHistory",
+    "fom_normalized",
+    "fom_from_raw",
+    "fom_tensor",
+    "generate_pseudo_samples",
+]

@@ -1,0 +1,196 @@
+"""Optimization run records shared by DNN-Opt and every baseline.
+
+:class:`OptimizationHistory` stores each simulated design with its raw
+performance row, FoM value and feasibility flag, and accounts simulator
+time and model-building time separately — exactly the quantities reported
+in Tables II/IV/V of the paper (success, sims-to-first-feasible, objective
+statistics, modeling/simulation time).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .fom import fom_from_raw
+
+__all__ = ["OptimizationHistory", "Optimizer"]
+
+
+class OptimizationHistory:
+    """Append-only record of an optimization run."""
+
+    def __init__(self, problem, optimizer_name: str, seed: int):
+        self.problem = problem
+        self.optimizer_name = optimizer_name
+        self.seed = seed
+        self._X: list[np.ndarray] = []
+        self._F: list[np.ndarray] = []
+        self._fom: list[float] = []
+        self._feasible: list[bool] = []
+        self.modeling_time = 0.0
+        self.simulation_time = 0.0
+
+    # -- recording ---------------------------------------------------------
+    def append(self, x: np.ndarray, f_raw: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        f_raw = np.asarray(f_raw, dtype=np.float64).ravel()
+        self._X.append(x)
+        self._F.append(f_raw)
+        self._fom.append(float(fom_from_raw(self.problem, f_raw[None, :])[0]))
+        self._feasible.append(bool(self.problem.is_feasible(f_raw[None, :])[0]))
+
+    # -- array views --------------------------------------------------------
+    @property
+    def X(self) -> np.ndarray:
+        return np.asarray(self._X) if self._X else np.empty((0, self.problem.dim))
+
+    @property
+    def F(self) -> np.ndarray:
+        cols = 1 + self.problem.num_constraints
+        return np.asarray(self._F) if self._F else np.empty((0, cols))
+
+    @property
+    def fom(self) -> np.ndarray:
+        return np.asarray(self._fom)
+
+    @property
+    def feasible(self) -> np.ndarray:
+        return np.asarray(self._feasible, dtype=bool)
+
+    @property
+    def n_evals(self) -> int:
+        return len(self._X)
+
+    # -- summaries -----------------------------------------------------------
+    @property
+    def best_index(self) -> int:
+        """Design with the lowest FoM (the paper's Algorithm 1 return)."""
+        if not self._fom:
+            raise ValueError("empty history")
+        return int(np.argmin(self._fom))
+
+    @property
+    def best_x(self) -> np.ndarray:
+        return self.X[self.best_index]
+
+    @property
+    def best_fom(self) -> float:
+        return float(np.min(self._fom))
+
+    @property
+    def any_feasible(self) -> bool:
+        return any(self._feasible)
+
+    @property
+    def evals_to_first_feasible(self) -> int | None:
+        """1-based simulation count at the first feasible design (None if never)."""
+        for i, ok in enumerate(self._feasible):
+            if ok:
+                return i + 1
+        return None
+
+    @property
+    def best_feasible_index(self) -> int | None:
+        """Feasible design with the lowest raw objective."""
+        if not self.any_feasible:
+            return None
+        F = self.F
+        objective = np.where(self.feasible, F[:, 0], np.inf)
+        return int(np.argmin(objective))
+
+    @property
+    def best_feasible_objective(self) -> float | None:
+        index = self.best_feasible_index
+        return None if index is None else float(self.F[index, 0])
+
+    def fom_curve(self) -> np.ndarray:
+        """Running best (minimum) FoM after each simulation — the series
+        plotted in Figures 3 and 4."""
+        return np.minimum.accumulate(self.fom) if self._fom else np.empty(0)
+
+    def summary(self) -> dict:
+        return {
+            "optimizer": self.optimizer_name,
+            "problem": self.problem.name,
+            "seed": self.seed,
+            "n_evals": self.n_evals,
+            "feasible": self.any_feasible,
+            "evals_to_first_feasible": self.evals_to_first_feasible,
+            "best_fom": self.best_fom if self._fom else None,
+            "best_feasible_objective": self.best_feasible_objective,
+            "modeling_time_s": self.modeling_time,
+            "simulation_time_s": self.simulation_time,
+        }
+
+
+class Optimizer(ABC):
+    """Common driver for all black-box optimizers in this package.
+
+    Subclasses implement :meth:`_run` and call :meth:`evaluate` for every
+    simulator query; the budget, history bookkeeping, timing split and
+    optional early stop on feasibility are handled here.
+    """
+
+    name = "optimizer"
+
+    def __init__(self, problem, budget: int, seed: int = 0, *,
+                 stop_when_feasible: bool = False):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.problem = problem
+        self.budget = int(budget)
+        self.seed = int(seed)
+        self.stop_when_feasible = bool(stop_when_feasible)
+        self.rng = np.random.default_rng(seed)
+        self.history = OptimizationHistory(problem, self.name, seed)
+
+    class _BudgetExhausted(Exception):
+        pass
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Simulate one design, record it, and return the raw performance row."""
+        if self.history.n_evals >= self.budget:
+            raise Optimizer._BudgetExhausted
+        x = self.problem.space.round(np.asarray(x, dtype=np.float64).ravel())
+        start = time.perf_counter()
+        f_raw = self.problem.evaluate(x)
+        self.history.simulation_time += time.perf_counter() - start
+        self.history.append(x, f_raw)
+        if (self.stop_when_feasible and self.history.feasible[-1]):
+            raise Optimizer._BudgetExhausted
+        return f_raw
+
+    def evaluate_batch(self, X: np.ndarray) -> np.ndarray:
+        return np.vstack([self.evaluate(x) for x in np.atleast_2d(X)])
+
+    def timed_modeling(self):
+        """Context manager adding elapsed wall-clock to modeling time."""
+        return _ModelTimer(self.history)
+
+    def run(self) -> OptimizationHistory:
+        """Execute the optimizer until the budget is exhausted."""
+        try:
+            self._run()
+        except Optimizer._BudgetExhausted:
+            pass
+        return self.history
+
+    @abstractmethod
+    def _run(self) -> None:
+        ...
+
+
+class _ModelTimer:
+    def __init__(self, history: OptimizationHistory):
+        self.history = history
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.history.modeling_time += time.perf_counter() - self._start
+        return False

@@ -1,0 +1,73 @@
+"""Pseudo-sample generation — Eq. 2 of the paper.
+
+From ``N`` simulated designs the critic's training set is expanded to (up
+to) ``N^2`` *pseudo-samples*: for every ordered pair ``(i, j)``
+
+    input  = [x_i, x_j - x_i]          (dimension 2d)
+    target = f(x_j)                     (the already-simulated specs of x_j)
+
+so the critic learns the *effect of moving* from any anchor design by any
+archive displacement — the property the actor exploits.  Because ``N^2``
+grows quadratically, pairs are uniformly subsampled beyond ``max_pairs``;
+the ``N`` self-pairs ``(x_i, 0) -> f(x_i)`` are always included so the
+critic stays anchored on the raw data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_pseudo_samples"]
+
+
+def generate_pseudo_samples(X: np.ndarray, Y: np.ndarray, *,
+                            rng: np.random.Generator,
+                            max_pairs: int = 20_000,
+                            include_self_pairs: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Build the critic training set.
+
+    Parameters
+    ----------
+    X:
+        Simulated designs, shape ``(N, d)`` (any consistent coordinates; the
+        optimizer passes normalized designs).
+    Y:
+        Corresponding targets, shape ``(N, m+1)``.
+    max_pairs:
+        Cap on the number of generated pairs (the paper's full ``N^2`` is
+        used whenever it fits under the cap).
+    include_self_pairs:
+        Always include the ``(x_i, 0)`` pairs (recommended).
+
+    Returns
+    -------
+    inputs, targets:
+        Arrays of shape ``(P, 2d)`` and ``(P, m+1)``.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    Y = np.atleast_2d(np.asarray(Y, dtype=np.float64))
+    n, d = X.shape
+    if len(Y) != n:
+        raise ValueError(f"X has {n} rows but Y has {len(Y)}")
+    if max_pairs < 1:
+        raise ValueError("max_pairs must be >= 1")
+
+    if n * n <= max_pairs:
+        anchor = np.repeat(np.arange(n), n)
+        target = np.tile(np.arange(n), n)
+    else:
+        budget = max_pairs
+        parts = []
+        if include_self_pairs and n <= budget:
+            self_idx = np.arange(n)
+            parts.append((self_idx, self_idx))
+            budget -= n
+        anchor_rand = rng.integers(0, n, size=budget)
+        target_rand = rng.integers(0, n, size=budget)
+        parts.append((anchor_rand, target_rand))
+        anchor = np.concatenate([p[0] for p in parts])
+        target = np.concatenate([p[1] for p in parts])
+
+    inputs = np.concatenate([X[anchor], X[target] - X[anchor]], axis=1)
+    targets = Y[target]
+    return inputs, targets

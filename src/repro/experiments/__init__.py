@@ -1,0 +1,35 @@
+"""Experiment harness: trial runner, statistics, curves, paper artifacts."""
+
+from .curves import ascii_plot, curve_table, mean_fom_curve
+from .paper import (
+    ExperimentScale,
+    building_block_optimizers,
+    current_scale,
+    render_fom_figure,
+    render_stats_table,
+    run_building_block_comparison,
+    run_industrial_comparison,
+    run_parameter_table,
+)
+from .runner import compare_algorithms, run_trials
+from .statistics import AlgorithmStats, algorithm_stats
+from .tables import render_table
+
+__all__ = [
+    "run_trials",
+    "compare_algorithms",
+    "AlgorithmStats",
+    "algorithm_stats",
+    "mean_fom_curve",
+    "curve_table",
+    "ascii_plot",
+    "render_table",
+    "ExperimentScale",
+    "current_scale",
+    "building_block_optimizers",
+    "run_parameter_table",
+    "run_building_block_comparison",
+    "render_stats_table",
+    "render_fom_figure",
+    "run_industrial_comparison",
+]

@@ -1,0 +1,77 @@
+"""FoM convergence curves — the series of Figures 3 and 4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.history import OptimizationHistory
+
+__all__ = ["mean_fom_curve", "curve_table", "ascii_plot"]
+
+
+def mean_fom_curve(histories: list[OptimizationHistory], length: int | None = None) -> np.ndarray:
+    """Average running-minimum FoM across trials, padded to ``length``.
+
+    Trials shorter than ``length`` are extended with their final best FoM
+    (the optimizer would not get worse by stopping), which is how the paper
+    can average DE (10000 sims) with the 500-sim methods on one axis.
+    """
+    if not histories:
+        raise ValueError("need at least one history")
+    if length is None:
+        length = max(h.n_evals for h in histories)
+    rows = []
+    for history in histories:
+        curve = history.fom_curve()
+        if len(curve) >= length:
+            rows.append(curve[:length])
+        else:
+            pad = np.full(length - len(curve), curve[-1] if len(curve) else np.nan)
+            rows.append(np.concatenate([curve, pad]))
+    return np.mean(np.asarray(rows), axis=0)
+
+
+def curve_table(curves: dict[str, np.ndarray], stride: int = 10) -> list[tuple]:
+    """Rows ``(n_sims, fom_algo1, fom_algo2, ...)`` sampled every ``stride``."""
+    length = max(len(c) for c in curves.values())
+    rows = []
+    for i in range(0, length, stride):
+        row = [i + 1]
+        for curve in curves.values():
+            row.append(float(curve[min(i, len(curve) - 1)]))
+        rows.append(tuple(row))
+    return rows
+
+
+def ascii_plot(curves: dict[str, np.ndarray], *, width: int = 72, height: int = 18,
+               title: str = "") -> str:
+    """Plain-text rendition of the FoM-vs-simulations figure."""
+    symbols = "*o+x#@"
+    length = max(len(c) for c in curves.values())
+    all_values = np.concatenate([np.asarray(c, dtype=float) for c in curves.values()])
+    finite = all_values[np.isfinite(all_values)]
+    lo, hi = float(np.min(finite)), float(np.max(finite))
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, curve) in enumerate(curves.items()):
+        sym = symbols[k % len(symbols)]
+        for col in range(width):
+            idx = min(int(col / (width - 1) * (length - 1)), len(curve) - 1)
+            value = float(curve[idx])
+            if not np.isfinite(value):
+                continue
+            row = int((hi - value) / (hi - lo) * (height - 1))
+            grid[min(max(row, 0), height - 1)][col] = sym
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:8.3f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:8.3f} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"1 ... {length} simulations")
+    legend = "   ".join(f"{symbols[k % len(symbols)]}={name}"
+                        for k, name in enumerate(curves))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Multi-trial experiment runner.
+
+The paper repeats every experiment ten times to account for randomization
+(Section III-A); :func:`run_trials` reproduces that protocol and
+:func:`compare_algorithms` runs it for a dictionary of optimizer factories
+on one problem, returning per-algorithm history lists ready for the
+statistics/curve modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.history import OptimizationHistory
+
+__all__ = ["run_trials", "compare_algorithms"]
+
+OptimizerFactory = Callable[[object, int, int], object]
+"""Signature: factory(problem, budget, seed) -> Optimizer."""
+
+
+def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
+               *, budget: int, n_trials: int, base_seed: int = 0,
+               verbose: bool = False) -> list[OptimizationHistory]:
+    """Run ``n_trials`` independent optimizations with seeds
+    ``base_seed, base_seed+1, ...`` (a fresh problem instance per trial)."""
+    histories = []
+    for trial in range(n_trials):
+        problem = problem_factory()
+        optimizer = factory(problem, budget, base_seed + trial)
+        history = optimizer.run()
+        histories.append(history)
+        if verbose:
+            summary = history.summary()
+            print(f"  [{summary['optimizer']}] trial {trial}: "
+                  f"feasible={summary['feasible']} "
+                  f"first={summary['evals_to_first_feasible']} "
+                  f"best_obj={summary['best_feasible_objective']}")
+    return histories
+
+
+def compare_algorithms(optimizers: dict[str, OptimizerFactory],
+                       problem_factory: Callable[[], object], *,
+                       budget: int, n_trials: int, base_seed: int = 0,
+                       budgets: dict[str, int] | None = None,
+                       verbose: bool = False) -> dict[str, list[OptimizationHistory]]:
+    """Run every algorithm with the multi-trial protocol.
+
+    ``budgets`` overrides the budget per algorithm (the paper gives DE 10000
+    simulations but the model-based methods only 500).
+    """
+    results: dict[str, list[OptimizationHistory]] = {}
+    for name, factory in optimizers.items():
+        algo_budget = (budgets or {}).get(name, budget)
+        if verbose:
+            print(f"running {name} (budget {algo_budget}, {n_trials} trials)")
+        results[name] = run_trials(factory, problem_factory, budget=algo_budget,
+                                   n_trials=n_trials, base_seed=base_seed,
+                                   verbose=verbose)
+    return results

@@ -1,0 +1,62 @@
+"""Per-algorithm statistics — the rows of Tables II, IV and V."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.history import OptimizationHistory
+
+__all__ = ["AlgorithmStats", "algorithm_stats"]
+
+
+@dataclass
+class AlgorithmStats:
+    """Aggregated multi-trial results for one optimizer on one problem."""
+
+    name: str
+    n_trials: int
+    n_success: int
+    #: median simulations-to-first-feasible over successful trials (None if 0)
+    sims_to_feasible: float | None
+    #: per-trial budget actually used (max over trials)
+    budget: int
+    min_objective: float | None
+    max_objective: float | None
+    mean_objective: float | None
+    mean_modeling_time_s: float
+    mean_simulation_time_s: float
+
+    @property
+    def success_rate(self) -> str:
+        return f"{self.n_success}/{self.n_trials}"
+
+    @property
+    def sims_label(self) -> str:
+        """Formatted like the paper: a number, or '>budget' when never met."""
+        if self.sims_to_feasible is None:
+            return f">{self.budget}"
+        return f"{self.sims_to_feasible:.0f}"
+
+
+def algorithm_stats(name: str, histories: list[OptimizationHistory]) -> AlgorithmStats:
+    """Aggregate trial histories into one paper-style statistics row."""
+    if not histories:
+        raise ValueError("need at least one history")
+    firsts = [h.evals_to_first_feasible for h in histories]
+    successes = [f for f in firsts if f is not None]
+    objectives = [h.best_feasible_objective for h in histories
+                  if h.best_feasible_objective is not None]
+    return AlgorithmStats(
+        name=name,
+        n_trials=len(histories),
+        n_success=len(successes),
+        sims_to_feasible=float(np.median(successes)) if successes else None,
+        budget=max(h.n_evals for h in histories),
+        min_objective=float(np.min(objectives)) if objectives else None,
+        max_objective=float(np.max(objectives)) if objectives else None,
+        mean_objective=float(np.mean(objectives)) if objectives else None,
+        mean_modeling_time_s=float(np.mean([h.modeling_time for h in histories])),
+        mean_simulation_time_s=float(np.mean([h.simulation_time for h in histories])),
+    )

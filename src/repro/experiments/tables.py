@@ -1,0 +1,39 @@
+"""Plain-text table rendering for the reproduced paper tables."""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: list[str], rows: list[tuple], title: str = "") -> str:
+    """Fixed-width ASCII table (paper tables are regenerated through this)."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append(sep)
+    for row in text_rows:
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "NA"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,21 @@
+"""Gaussian-process regression and acquisition functions (BO substrate)."""
+
+from .acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_feasibility,
+    weighted_expected_improvement,
+)
+from .gpr import GaussianProcess
+from .kernels import RBF, Kernel, Matern52
+
+__all__ = [
+    "GaussianProcess",
+    "Kernel",
+    "RBF",
+    "Matern52",
+    "expected_improvement",
+    "weighted_expected_improvement",
+    "probability_of_feasibility",
+    "lower_confidence_bound",
+]

@@ -1,0 +1,56 @@
+"""Acquisition functions for the Bayesian-optimization baselines.
+
+Implements the constrained-BO vocabulary used by BO-wEI (Lyu et al.,
+DAC'18): expected improvement, *weighted* expected improvement (a convex
+blend of the exploitation and exploration terms), probability of
+feasibility, and the lower confidence bound used by GASPAD prescreening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "expected_improvement",
+    "weighted_expected_improvement",
+    "probability_of_feasibility",
+    "lower_confidence_bound",
+]
+
+
+def _improvement_terms(mean: np.ndarray, std: np.ndarray, best: float):
+    std = np.maximum(np.asarray(std, dtype=np.float64), 1e-12)
+    z = (best - np.asarray(mean, dtype=np.float64)) / std
+    return z, std
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+    """EI for minimization: ``E[max(0, best - Y)]``."""
+    z, std = _improvement_terms(mean, std, best)
+    return std * (z * stats.norm.cdf(z) + stats.norm.pdf(z))
+
+
+def weighted_expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                                  w: float = 0.5) -> np.ndarray:
+    """Weighted EI: ``w * (best-mu) Phi(z) + (1-w) * sigma phi(z)``.
+
+    ``w > 0.5`` exploits, ``w < 0.5`` explores; ``w = 0.5`` halves plain EI.
+    """
+    if not 0.0 <= w <= 1.0:
+        raise ValueError("w must be in [0, 1]")
+    z, std = _improvement_terms(mean, std, best)
+    exploit = (best - mean) * stats.norm.cdf(z)
+    explore = std * stats.norm.pdf(z)
+    return w * exploit + (1.0 - w) * explore
+
+
+def probability_of_feasibility(mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    """P[constraint <= 0] for a GP modelling a normalized violation value."""
+    std = np.maximum(np.asarray(std, dtype=np.float64), 1e-12)
+    return stats.norm.cdf(-np.asarray(mean, dtype=np.float64) / std)
+
+
+def lower_confidence_bound(mean: np.ndarray, std: np.ndarray, beta: float = 2.0) -> np.ndarray:
+    """LCB prescreening score for minimization (smaller is more promising)."""
+    return np.asarray(mean) - beta * np.asarray(std)

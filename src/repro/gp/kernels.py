@@ -1,0 +1,79 @@
+"""Covariance kernels for Gaussian-process regression.
+
+Kernels operate on normalized inputs (the optimizers work in the unit
+cube).  Hyperparameters are stored as log-values so the marginal-likelihood
+optimization is unconstrained; ARD (per-dimension lengthscales) is
+supported by both kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Kernel", "RBF", "Matern52"]
+
+
+def _scaled_sqdist(Xa: np.ndarray, Xb: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Pairwise squared distances of inputs scaled by per-dim lengthscales."""
+    A = Xa / lengthscales
+    B = Xb / lengthscales
+    aa = np.sum(A * A, axis=1)[:, None]
+    bb = np.sum(B * B, axis=1)[None, :]
+    sq = aa + bb - 2.0 * A @ B.T
+    return np.maximum(sq, 0.0)
+
+
+class Kernel:
+    """Base kernel with log-parameter vector [log amp, log ls_1..ls_d]."""
+
+    def __init__(self, dim: int, amplitude: float = 1.0, lengthscale: float = 0.3):
+        self.dim = int(dim)
+        self.log_amplitude = np.log(amplitude)
+        self.log_lengthscales = np.full(dim, np.log(lengthscale))
+
+    # -- parameter vector management -----------------------------------
+    def get_params(self) -> np.ndarray:
+        return np.concatenate([[self.log_amplitude], self.log_lengthscales])
+
+    def set_params(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (1 + self.dim,):
+            raise ValueError(f"expected {1 + self.dim} parameters, got {theta.shape}")
+        self.log_amplitude = float(theta[0])
+        self.log_lengthscales = theta[1:].copy()
+
+    @property
+    def num_params(self) -> int:
+        return 1 + self.dim
+
+    @property
+    def amplitude(self) -> float:
+        return float(np.exp(self.log_amplitude))
+
+    @property
+    def lengthscales(self) -> np.ndarray:
+        return np.exp(self.log_lengthscales)
+
+    def __call__(self, Xa: np.ndarray, Xb: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(len(X), self.amplitude**2)
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel with ARD lengthscales."""
+
+    def __call__(self, Xa: np.ndarray, Xb: np.ndarray) -> np.ndarray:
+        sq = _scaled_sqdist(np.atleast_2d(Xa), np.atleast_2d(Xb), self.lengthscales)
+        return self.amplitude**2 * np.exp(-0.5 * sq)
+
+
+class Matern52(Kernel):
+    """Matern 5/2 kernel with ARD lengthscales (the GASPAD default)."""
+
+    def __call__(self, Xa: np.ndarray, Xb: np.ndarray) -> np.ndarray:
+        sq = _scaled_sqdist(np.atleast_2d(Xa), np.atleast_2d(Xb), self.lengthscales)
+        r = np.sqrt(sq + 1e-30)
+        c = np.sqrt(5.0) * r
+        return self.amplitude**2 * (1.0 + c + (5.0 / 3.0) * sq) * np.exp(-c)

@@ -1,0 +1,37 @@
+"""A small NumPy deep-learning substrate (autograd, layers, optimizers).
+
+This package replaces PyTorch for the DNN-Opt reproduction: it provides
+reverse-mode automatic differentiation on NumPy arrays, MLP building blocks,
+Adam/SGD optimizers and the losses/scalers the paper's actor-critic needs.
+"""
+
+from .tensor import Tensor, concatenate, maximum, minimum, where
+from .layers import MLP, Identity, LeakyReLU, Linear, Module, ReLU, Sequential, Sigmoid, Tanh
+from .optim import SGD, Adam, Optimizer
+from .losses import huber_loss, mae_loss, mse_loss
+from .scaler import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "maximum",
+    "minimum",
+    "where",
+    "Module",
+    "Linear",
+    "MLP",
+    "Sequential",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "StandardScaler",
+    "MinMaxScaler",
+]

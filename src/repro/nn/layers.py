@@ -1,0 +1,189 @@
+"""Neural-network layers built on :class:`repro.nn.tensor.Tensor`.
+
+The paper's actor and critic are plain multi-layer perceptrons; this module
+provides the :class:`Module` base class, :class:`Linear` affine maps, the
+usual activations and a convenience :class:`MLP` factory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Sequential",
+    "MLP",
+]
+
+_ACTIVATIONS = {}
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules for optimizers."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (copies), in parameter order."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(f"state has {len(state)} arrays, model has {len(params)} parameters")
+        for param, array in zip(params, state):
+            if param.data.shape != array.shape:
+                raise ValueError(f"shape mismatch: {param.data.shape} vs {array.shape}")
+            param.data = array.copy()
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with He/Xavier initialization."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng: np.random.Generator,
+                 init: str = "he"):
+        if init == "he":
+            scale = np.sqrt(2.0 / in_features)
+        elif init == "xavier":
+            scale = np.sqrt(2.0 / (in_features + out_features))
+        elif init == "small":
+            scale = 1e-3
+        else:
+            raise ValueError(f"unknown init scheme: {init!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(rng.normal(0.0, scale, size=(in_features, out_features)),
+                             requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.01):
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS.update({
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+    "identity": Identity,
+})
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron ``in -> hidden... -> out``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    hidden:
+        Sequence of hidden-layer widths.
+    activation:
+        Name of the hidden activation (``relu``, ``tanh``, ...).
+    output_activation:
+        Name of the output activation (default ``identity``).
+    rng:
+        Random generator for weight initialization (required so optimization
+        runs are reproducible).
+    """
+
+    def __init__(self, in_features: int, out_features: int, hidden: tuple[int, ...] = (64, 64),
+                 *, activation: str = "relu", output_activation: str = "identity",
+                 rng: np.random.Generator):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation: {activation!r}")
+        if output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation: {output_activation!r}")
+        init = "he" if activation in ("relu", "leaky_relu") else "xavier"
+        widths = [in_features, *hidden]
+        layers: list[Module] = []
+        for w_in, w_out in zip(widths[:-1], widths[1:]):
+            layers.append(Linear(w_in, w_out, rng=rng, init=init))
+            layers.append(_ACTIVATIONS[activation]())
+        layers.append(Linear(widths[-1], out_features, rng=rng, init="xavier"))
+        layers.append(_ACTIVATIONS[output_activation]())
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass on a raw array without building the autograd graph."""
+        out = self.net(Tensor(np.atleast_2d(x)))
+        return out.data

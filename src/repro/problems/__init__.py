@@ -1,0 +1,41 @@
+"""Problem abstraction: design spaces, specs, synthetic + circuit problems."""
+
+from .base import (
+    DesignSpace,
+    EvaluationFailure,
+    Objective,
+    OptimizationProblem,
+    Spec,
+    Variable,
+)
+from .synthetic import (
+    SYNTHETIC_SUITE,
+    G06,
+    Ackley,
+    Branin,
+    ConstrainedSphere,
+    Hartmann6,
+    PressureVessel,
+    Rastrigin,
+    Rosenbrock,
+    Sphere,
+)
+
+__all__ = [
+    "Variable",
+    "DesignSpace",
+    "Spec",
+    "Objective",
+    "OptimizationProblem",
+    "EvaluationFailure",
+    "Sphere",
+    "Rosenbrock",
+    "Ackley",
+    "Rastrigin",
+    "Branin",
+    "Hartmann6",
+    "ConstrainedSphere",
+    "G06",
+    "PressureVessel",
+    "SYNTHETIC_SUITE",
+]

@@ -1,0 +1,214 @@
+"""Synthetic black-box problems.
+
+These serve two roles in the reproduction:
+
+* fast, analytically-understood workloads for unit/integration tests of all
+  five optimizers, and
+* the critic-accuracy ablation (the paper validated its 2d-input critic on
+  Bayesmark problems; we use this suite as the stand-in).
+
+All functions are minimization problems; known optima are exposed so tests
+can assert convergence quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DesignSpace, Objective, OptimizationProblem, Spec, Variable
+
+__all__ = [
+    "Sphere",
+    "Rosenbrock",
+    "Ackley",
+    "Rastrigin",
+    "Branin",
+    "Hartmann6",
+    "ConstrainedSphere",
+    "G06",
+    "PressureVessel",
+    "SYNTHETIC_SUITE",
+]
+
+
+def _box(dim: int, lower: float, upper: float, prefix: str = "x") -> DesignSpace:
+    return DesignSpace([Variable(f"{prefix}{i}", lower, upper) for i in range(dim)])
+
+
+class Sphere(OptimizationProblem):
+    """``f(x) = sum x_i^2``; optimum 0 at the origin."""
+
+    optimum = 0.0
+
+    def __init__(self, dim: int = 5):
+        super().__init__(_box(dim, -5.0, 5.0), Objective("sphere", scale=25.0 * dim), [])
+
+    def _evaluate(self, x):
+        return [float(np.sum(x**2))]
+
+
+class Rosenbrock(OptimizationProblem):
+    """Banana function; optimum 0 at (1, ..., 1)."""
+
+    optimum = 0.0
+
+    def __init__(self, dim: int = 4):
+        super().__init__(_box(dim, -2.0, 2.0), Objective("rosenbrock", scale=100.0), [])
+
+    def _evaluate(self, x):
+        value = np.sum(100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1.0 - x[:-1]) ** 2)
+        return [float(value)]
+
+
+class Ackley(OptimizationProblem):
+    """Highly multimodal; optimum 0 at the origin."""
+
+    optimum = 0.0
+
+    def __init__(self, dim: int = 5):
+        super().__init__(_box(dim, -5.0, 5.0), Objective("ackley", scale=20.0), [])
+
+    def _evaluate(self, x):
+        d = len(x)
+        value = (-20.0 * np.exp(-0.2 * np.sqrt(np.sum(x**2) / d))
+                 - np.exp(np.sum(np.cos(2.0 * np.pi * x)) / d) + 20.0 + np.e)
+        return [float(value)]
+
+
+class Rastrigin(OptimizationProblem):
+    """Highly multimodal; optimum 0 at the origin."""
+
+    optimum = 0.0
+
+    def __init__(self, dim: int = 5):
+        super().__init__(_box(dim, -5.12, 5.12), Objective("rastrigin", scale=10.0 * dim), [])
+
+    def _evaluate(self, x):
+        value = 10.0 * len(x) + np.sum(x**2 - 10.0 * np.cos(2.0 * np.pi * x))
+        return [float(value)]
+
+
+class Branin(OptimizationProblem):
+    """Classic 2-D test function; optimum ~0.397887."""
+
+    optimum = 0.397887
+
+    def __init__(self):
+        space = DesignSpace([Variable("x0", -5.0, 10.0), Variable("x1", 0.0, 15.0)])
+        super().__init__(space, Objective("branin", scale=50.0), [])
+
+    def _evaluate(self, x):
+        a, b, c = 1.0, 5.1 / (4 * np.pi**2), 5.0 / np.pi
+        r, s, t = 6.0, 10.0, 1.0 / (8 * np.pi)
+        value = a * (x[1] - b * x[0] ** 2 + c * x[0] - r) ** 2 + s * (1 - t) * np.cos(x[0]) + s
+        return [float(value)]
+
+
+class Hartmann6(OptimizationProblem):
+    """6-D Hartmann; optimum ~ -3.32237."""
+
+    optimum = -3.32237
+
+    _A = np.array([[10, 3, 17, 3.5, 1.7, 8],
+                   [0.05, 10, 17, 0.1, 8, 14],
+                   [3, 3.5, 1.7, 10, 17, 8],
+                   [17, 8, 0.05, 10, 0.1, 14]])
+    _P = 1e-4 * np.array([[1312, 1696, 5569, 124, 8283, 5886],
+                          [2329, 4135, 8307, 3736, 1004, 9991],
+                          [2348, 1451, 3522, 2883, 3047, 6650],
+                          [4047, 8828, 8732, 5743, 1091, 381]])
+    _ALPHA = np.array([1.0, 1.2, 3.0, 3.2])
+
+    def __init__(self):
+        super().__init__(_box(6, 0.0, 1.0), Objective("hartmann6", scale=3.5), [])
+
+    def _evaluate(self, x):
+        inner = np.sum(self._A * (x - self._P) ** 2, axis=1)
+        return [float(-np.dot(self._ALPHA, np.exp(-inner)))]
+
+
+class ConstrainedSphere(OptimizationProblem):
+    """Minimize ``sum x^2`` s.t. ``sum x >= dim/2`` (active at the optimum).
+
+    Optimum: all coordinates at ``1/2``, objective ``dim/4``.
+    """
+
+    def __init__(self, dim: int = 4):
+        self._dim_value = dim
+        specs = [Spec("coord_sum", "min", dim / 2.0)]
+        super().__init__(_box(dim, -5.0, 5.0), Objective("sphere", scale=25.0 * dim), specs)
+
+    @property
+    def optimum(self) -> float:
+        return self._dim_value / 4.0
+
+    def _evaluate(self, x):
+        return [float(np.sum(x**2)), float(np.sum(x))]
+
+
+class G06(OptimizationProblem):
+    """Floudas G06: a hard 2-D problem with a tiny crescent feasible region.
+
+    Optimum -6961.81 at (14.095, 0.84296).
+    """
+
+    optimum = -6961.81388
+
+    def __init__(self):
+        space = DesignSpace([Variable("x0", 13.0, 100.0), Variable("x1", 0.0, 100.0)])
+        specs = [Spec("g1", "max", 0.0, weight=1.0),
+                 Spec("g2", "max", 0.0, weight=1.0)]
+        super().__init__(space, Objective("g06", scale=7000.0), specs)
+
+    def _evaluate(self, x):
+        f = (x[0] - 10.0) ** 3 + (x[1] - 20.0) ** 3
+        g1 = -((x[0] - 5.0) ** 2) - (x[1] - 5.0) ** 2 + 100.0
+        g2 = (x[0] - 6.0) ** 2 + (x[1] - 5.0) ** 2 - 82.81
+        return [float(f), float(g1), float(g2)]
+
+
+class PressureVessel(OptimizationProblem):
+    """Coello pressure-vessel design (mixed discrete/continuous flavour).
+
+    Shell/head thickness are multiples of 1/16 inch, modelled here as
+    integer multipliers — exercising the integer-variable machinery that the
+    circuit problems (finger counts) rely on.
+    """
+
+    optimum = 6059.7  # literature best with discrete thicknesses
+
+    def __init__(self):
+        space = DesignSpace([
+            Variable("t_shell_16ths", 1, 99, kind="integer"),
+            Variable("t_head_16ths", 1, 99, kind="integer"),
+            Variable("radius", 10.0, 200.0),
+            Variable("length", 10.0, 240.0),
+        ])
+        specs = [Spec("g_shell", "max", 0.0), Spec("g_head", "max", 0.0),
+                 Spec("g_volume", "max", 0.0)]
+        super().__init__(space, Objective("cost", scale=1e4), specs)
+
+    def _evaluate(self, x):
+        ts = 0.0625 * x[0]
+        th = 0.0625 * x[1]
+        r, length = x[2], x[3]
+        cost = (0.6224 * ts * r * length + 1.7781 * th * r**2
+                + 3.1661 * ts**2 * length + 19.84 * ts**2 * r)
+        g1 = -ts + 0.0193 * r
+        g2 = -th + 0.00954 * r
+        g3 = -np.pi * r**2 * length - (4.0 / 3.0) * np.pi * r**3 + 1_296_000.0
+        return [float(cost), float(g1), float(g2), float(g3 / 1e5)]
+
+
+#: name -> factory for the whole suite (used by the critic-accuracy ablation)
+SYNTHETIC_SUITE = {
+    "sphere": Sphere,
+    "rosenbrock": Rosenbrock,
+    "ackley": Ackley,
+    "rastrigin": Rastrigin,
+    "branin": Branin,
+    "hartmann6": Hartmann6,
+    "constrained_sphere": ConstrainedSphere,
+    "g06": G06,
+    "pressure_vessel": PressureVessel,
+}

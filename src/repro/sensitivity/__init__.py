@@ -1,0 +1,11 @@
+"""Sensitivity analysis (Eq. 7) and critical-variable problem reduction."""
+
+from .analysis import SensitivityResult, sensitivity_analysis
+from .reduction import ReducedProblem, reduce_problem
+
+__all__ = [
+    "sensitivity_analysis",
+    "SensitivityResult",
+    "ReducedProblem",
+    "reduce_problem",
+]

@@ -1,0 +1,56 @@
+"""Problem reduction: optimize only the critical variables.
+
+:class:`ReducedProblem` wraps any :class:`OptimizationProblem`, freezing
+the non-critical variables at their nominal values.  Optimizers see only
+the reduced design space; evaluation re-inserts the frozen values before
+calling the full simulator — the paper's "workable range" recipe for
+industrial circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..problems.base import DesignSpace, OptimizationProblem
+
+__all__ = ["ReducedProblem", "reduce_problem"]
+
+
+class ReducedProblem(OptimizationProblem):
+    """A view of ``base`` restricted to ``keep_names`` variables."""
+
+    def __init__(self, base: OptimizationProblem, keep_names: list[str],
+                 nominal: np.ndarray):
+        if not keep_names:
+            raise ValueError("must keep at least one variable")
+        unknown = [n for n in keep_names if n not in base.space.names]
+        if unknown:
+            raise ValueError(f"unknown variables: {unknown}")
+        self.base = base
+        self.nominal = np.asarray(nominal, dtype=np.float64).copy()
+        if self.nominal.shape != (base.space.dim,):
+            raise ValueError("nominal must match the full design space")
+        name_to_col = {name: i for i, name in enumerate(base.space.names)}
+        self.keep_columns = np.array([name_to_col[n] for n in keep_names])
+        variables = [base.space.variables[i] for i in self.keep_columns]
+        super().__init__(DesignSpace(variables), base.objective, base.specs,
+                         name=f"{base.name}[reduced {len(variables)}/{base.space.dim}]")
+
+    def expand(self, x_reduced: np.ndarray) -> np.ndarray:
+        """Full design vector: nominal with the kept variables overridden."""
+        full = self.nominal.copy()
+        full[self.keep_columns] = np.asarray(x_reduced, dtype=np.float64).ravel()
+        return full
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        return self.base.evaluate(self.expand(x))
+
+
+def reduce_problem(base: OptimizationProblem, sensitivity, *,
+                   threshold: float = 0.05,
+                   metrics: list[str] | None = None,
+                   min_keep: int = 2) -> ReducedProblem:
+    """Build a :class:`ReducedProblem` from a sensitivity result."""
+    keep = sensitivity.critical_variables(threshold=threshold, metrics=metrics,
+                                          min_keep=min_keep)
+    return ReducedProblem(base, keep, sensitivity.nominal)

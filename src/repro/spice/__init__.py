@@ -1,0 +1,97 @@
+"""A from-scratch SPICE-class analog circuit simulator.
+
+This package substitutes for the commercial simulator used in the DNN-Opt
+paper: netlists of MOSFETs/passives/sources, modified nodal analysis, a
+robust Newton DC solver, and AC / transient / noise analyses with the
+measurement helpers analog testbenches need.
+"""
+
+from . import waveform
+from .analysis import (
+    ACResult,
+    DCSweepResult,
+    NoiseResult,
+    OperatingPoint,
+    TransientResult,
+    ac_analysis,
+    dc_sweep,
+    nodeset_vector,
+    noise_analysis,
+    operating_point,
+    transient,
+)
+from .devices import (
+    CCCS,
+    CCVS,
+    DC,
+    MOSFET,
+    NMOS_7,
+    NMOS_180,
+    PMOS_7,
+    PMOS_180,
+    PWL,
+    VCCS,
+    VCVS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    MOSModel,
+    Pulse,
+    Resistor,
+    Sin,
+    VoltageSource,
+)
+from .errors import AnalysisError, ConvergenceError, NetlistError, SpiceError
+from .netlist import Circuit, CompiledCircuit
+from .netlist_io import BUNDLED_MODELS, parse_netlist, write_netlist
+from .parasitics import ParasiticEstimator, estimate_parasitics
+from .units import format_eng, parse_value
+
+__all__ = [
+    "Circuit",
+    "CompiledCircuit",
+    "operating_point",
+    "nodeset_vector",
+    "dc_sweep",
+    "ac_analysis",
+    "transient",
+    "noise_analysis",
+    "OperatingPoint",
+    "DCSweepResult",
+    "ACResult",
+    "TransientResult",
+    "NoiseResult",
+    "waveform",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "DC",
+    "Pulse",
+    "Sin",
+    "PWL",
+    "VCVS",
+    "VCCS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "MOSFET",
+    "MOSModel",
+    "NMOS_180",
+    "PMOS_180",
+    "NMOS_7",
+    "PMOS_7",
+    "write_netlist",
+    "parse_netlist",
+    "BUNDLED_MODELS",
+    "SpiceError",
+    "NetlistError",
+    "ConvergenceError",
+    "AnalysisError",
+    "ParasiticEstimator",
+    "estimate_parasitics",
+    "parse_value",
+    "format_eng",
+]

@@ -1,0 +1,21 @@
+"""Circuit analyses: OP, DC sweep, AC, transient, noise."""
+
+from .ac import ACResult, ac_analysis
+from .dc import DCSweepResult, dc_sweep
+from .noise import NoiseResult, noise_analysis
+from .op import OperatingPoint, nodeset_vector, operating_point
+from .tran import TransientResult, transient
+
+__all__ = [
+    "OperatingPoint",
+    "operating_point",
+    "nodeset_vector",
+    "DCSweepResult",
+    "dc_sweep",
+    "ACResult",
+    "ac_analysis",
+    "TransientResult",
+    "transient",
+    "NoiseResult",
+    "noise_analysis",
+]

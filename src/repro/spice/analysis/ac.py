@@ -1,0 +1,59 @@
+"""Small-signal AC analysis.
+
+The circuit is linearized around a previously computed operating point; the
+complex system ``(G + j omega C) x = rhs`` is solved at each frequency, with
+the stimulus taken from the ``ac`` magnitude of independent sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..mna import ACSystem
+
+__all__ = ["ACResult", "ac_analysis", "build_smallsignal"]
+
+
+def build_smallsignal(compiled, xop: np.ndarray) -> ACSystem:
+    """Assemble the linearized G and C matrices (and AC stimulus) at ``xop``."""
+    sys = ACSystem(compiled.size)
+    for device, idx in compiled.devices_with_indices():
+        device.stamp_smallsignal(sys, xop, idx)
+        device.stamp_ac_rhs(sys, idx)
+    return sys
+
+
+class ACResult:
+    """Complex node voltages over frequency."""
+
+    def __init__(self, compiled, freqs: np.ndarray, solutions: np.ndarray):
+        self.compiled = compiled
+        self.freqs = freqs
+        self.solutions = solutions  # shape (n_freq, size), complex
+
+    def v(self, node: str) -> np.ndarray:
+        index = self.compiled.node(node)
+        if index < 0:
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self.solutions[:, index]
+
+    def diff(self, plus: str, minus: str) -> np.ndarray:
+        """Differential response ``v(plus) - v(minus)``."""
+        return self.v(plus) - self.v(minus)
+
+
+def ac_analysis(circuit, op, freqs) -> ACResult:
+    """Run AC analysis over ``freqs`` (Hz) around operating point ``op``."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    if np.any(freqs < 0):
+        raise AnalysisError("frequencies must be non-negative")
+    compiled = circuit.compile()
+    sys = build_smallsignal(compiled, op.x)
+    if not np.any(np.abs(sys.rhs) > 0):
+        raise AnalysisError("AC analysis needs at least one source with ac != 0")
+    solutions = np.zeros((len(freqs), compiled.size), dtype=complex)
+    for row, freq in enumerate(freqs):
+        matrix = sys.matrix(2.0 * np.pi * freq)
+        solutions[row] = np.linalg.solve(matrix, sys.rhs)
+    return ACResult(compiled, freqs, solutions)

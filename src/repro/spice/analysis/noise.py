@@ -1,0 +1,123 @@
+"""Small-signal noise analysis.
+
+Every device contributes noise current sources (resistor thermal noise,
+MOSFET channel thermal + flicker noise).  At each frequency the adjoint
+system ``A^T y = e_out`` is solved once; ``|y_p - y_m|^2`` is then the
+squared transfer impedance from a unit current injected between nodes
+``(p, m)`` to the output, so the total output voltage noise PSD is
+
+    S_out(f) = sum_j |H_j(f)|^2 S_j(f)
+
+Input-referred noise divides by the squared gain from a designated input
+source.  Total RMS noise integrates the PSD over the analysis band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .ac import build_smallsignal
+
+__all__ = ["NoiseResult", "noise_analysis"]
+
+
+class NoiseResult:
+    """Output-referred (and optionally input-referred) noise spectra."""
+
+    def __init__(self, freqs: np.ndarray, output_psd: np.ndarray,
+                 contributions: dict[str, np.ndarray],
+                 gain: np.ndarray | None):
+        self.freqs = freqs
+        #: output voltage noise PSD, V^2/Hz
+        self.output_psd = output_psd
+        #: per-noise-source output PSD contributions, V^2/Hz
+        self.contributions = contributions
+        #: complex input->output gain (None when no input source was given)
+        self.gain = gain
+
+    @property
+    def input_psd(self) -> np.ndarray:
+        """Input-referred noise PSD, V^2/Hz."""
+        if self.gain is None:
+            raise AnalysisError("noise analysis was run without an input source")
+        return self.output_psd / np.maximum(np.abs(self.gain) ** 2, 1e-300)
+
+    def output_rms(self, fmin: float | None = None, fmax: float | None = None) -> float:
+        """Integrated RMS output noise over [fmin, fmax] (defaults: whole band)."""
+        return self._rms(self.output_psd, fmin, fmax)
+
+    def input_rms(self, fmin: float | None = None, fmax: float | None = None) -> float:
+        """Integrated RMS input-referred noise over the band."""
+        return self._rms(self.input_psd, fmin, fmax)
+
+    def _rms(self, psd: np.ndarray, fmin, fmax) -> float:
+        mask = np.ones(len(self.freqs), dtype=bool)
+        if fmin is not None:
+            mask &= self.freqs >= fmin
+        if fmax is not None:
+            mask &= self.freqs <= fmax
+        if mask.sum() < 2:
+            raise AnalysisError("noise integration needs at least two in-band points")
+        return float(np.sqrt(np.trapezoid(psd[mask], self.freqs[mask])))
+
+    def dominant_contributors(self, top: int = 5) -> list[tuple[str, float]]:
+        """Noise sources ranked by integrated output variance."""
+        totals = {name: float(np.trapezoid(psd, self.freqs))
+                  for name, psd in self.contributions.items()}
+        ranked = sorted(totals.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:top]
+
+
+def noise_analysis(circuit, op, freqs, output: str | tuple[str, str], *,
+                   input_source: str | None = None) -> NoiseResult:
+    """Compute output noise at node ``output`` (or differential pair).
+
+    ``input_source`` names an independent source with ``ac != 0`` used to
+    compute the gain for input referral.
+    """
+    freqs = np.asarray(freqs, dtype=np.float64)
+    compiled = circuit.compile()
+    sys = build_smallsignal(compiled, op.x)
+
+    if isinstance(output, tuple):
+        out_p = compiled.node(output[0])
+        out_m = compiled.node(output[1])
+    else:
+        out_p = compiled.node(output)
+        out_m = -1
+    e_out = np.zeros(compiled.size)
+    if out_p >= 0:
+        e_out[out_p] += 1.0
+    if out_m >= 0:
+        e_out[out_m] -= 1.0
+
+    sources = []
+    for device, idx in compiled.devices_with_indices():
+        sources.extend(device.noise_sources(op.x, idx))
+    if not sources:
+        raise AnalysisError("circuit has no noise sources")
+
+    want_gain = input_source is not None
+    if want_gain and not np.any(np.abs(sys.rhs) > 0):
+        raise AnalysisError(f"input source {input_source!r} must have ac != 0")
+
+    output_psd = np.zeros(len(freqs))
+    contributions = {src.name: np.zeros(len(freqs)) for src in sources}
+    gain = np.zeros(len(freqs), dtype=complex) if want_gain else None
+
+    for row, freq in enumerate(freqs):
+        matrix = sys.matrix(2.0 * np.pi * freq)
+        adjoint = np.linalg.solve(matrix.T, e_out.astype(complex))
+        for src in sources:
+            yp = adjoint[src.node_plus] if src.node_plus >= 0 else 0.0
+            ym = adjoint[src.node_minus] if src.node_minus >= 0 else 0.0
+            h_squared = abs(ym - yp) ** 2
+            contribution = h_squared * src.psd(freq)
+            contributions[src.name][row] = contribution
+            output_psd[row] += contribution
+        if want_gain:
+            response = np.linalg.solve(matrix, sys.rhs)
+            gain[row] = e_out @ response
+
+    return NoiseResult(freqs, output_psd, contributions, gain)

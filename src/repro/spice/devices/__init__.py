@@ -1,0 +1,35 @@
+"""Device library for the MNA simulator."""
+
+from .base import Device, DeviceIndex, NoiseSource
+from .controlled import CCCS, CCVS, VCCS, VCVS
+from .diode import Diode
+from .mosfet import MOSFET, MOSModel, NMOS_180, NMOS_7, PMOS_180, PMOS_7
+from .passives import Capacitor, Inductor, Resistor
+from .sources import DC, PWL, CurrentSource, Pulse, Sin, VoltageSource, Waveform
+
+__all__ = [
+    "Device",
+    "DeviceIndex",
+    "NoiseSource",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Waveform",
+    "DC",
+    "Pulse",
+    "Sin",
+    "PWL",
+    "VCVS",
+    "VCCS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "MOSFET",
+    "MOSModel",
+    "NMOS_180",
+    "PMOS_180",
+    "NMOS_7",
+    "PMOS_7",
+]

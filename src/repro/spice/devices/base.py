@@ -1,0 +1,99 @@
+"""Device interface for the MNA simulator.
+
+Every device stamps its contribution into a shared system of equations.  The
+convention throughout the package:
+
+* Unknown vector ``x`` = node voltages (ground excluded) followed by branch
+  currents (one per voltage-defined element: V sources, inductors, E/H
+  sources).
+* We solve the KCL residual ``F(x) = 0`` with Newton's method; devices add
+  the current *leaving* each node to ``F`` and the corresponding partial
+  derivatives to the Jacobian ``J``.  For linear devices the Jacobian is the
+  familiar MNA stamp.
+* Ground is node index ``-1``; :class:`repro.spice.mna.System` silently drops
+  contributions to it.
+
+Dynamic (charge/flux-storage) devices additionally implement transient
+companion stamps and keep per-device integration state supplied by the
+transient analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Device", "DeviceIndex", "NoiseSource", "TRAP_THETA"]
+
+#: implicitness of the "trapezoidal" companion (0.5 = pure trapezoidal).
+#: Pure trapezoidal lets capacitor companion currents oscillate forever at
+#: constant voltage (a classic artifact); a slightly implicit theta damps
+#: them by (1-theta)/theta per step at negligible accuracy cost.
+TRAP_THETA = 0.52
+
+
+@dataclass(frozen=True)
+class DeviceIndex:
+    """Resolved matrix indices for one device instance in one circuit."""
+
+    nodes: tuple[int, ...]
+    branches: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class NoiseSource:
+    """A small-signal noise current source between two nodes.
+
+    ``psd(f)`` returns the one-sided current power spectral density in
+    A^2/Hz at frequency ``f``.
+    """
+
+    name: str
+    node_plus: int
+    node_minus: int
+    psd: callable
+
+
+class Device:
+    """Base class for circuit elements."""
+
+    #: number of auxiliary branch-current unknowns this device introduces
+    num_branches = 0
+    #: True if the static stamp depends on the solution vector
+    nonlinear = False
+    #: True if the device stores charge/flux (participates in transient/AC dynamics)
+    dynamic = False
+
+    def __init__(self, name: str, nodes: tuple[str, ...]):
+        self.name = str(name)
+        self.nodes = tuple(str(n) for n in nodes)
+
+    # -- static (resistive) part ---------------------------------------
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        """Add memoryless contributions at solution ``x`` (DC and transient)."""
+
+    # -- dynamic part ---------------------------------------------------
+    def init_state(self, x, idx: DeviceIndex):
+        """Return integration state at the initial solution (or None)."""
+        return None
+
+    def stamp_dynamic(self, sys, x, idx: DeviceIndex, state, dt: float, method: str) -> None:
+        """Add companion-model contributions for one transient step."""
+
+    def update_state(self, x, idx: DeviceIndex, state, dt: float, method: str):
+        """Advance integration state after a converged transient step."""
+        return state
+
+    # -- small-signal part ----------------------------------------------
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        """Stamp the linearization at the operating point into ``sys.G``/``sys.C``."""
+
+    def stamp_ac_rhs(self, sys, idx: DeviceIndex) -> None:
+        """Add the AC stimulus of independent sources to ``sys.rhs``."""
+
+    # -- noise ------------------------------------------------------------
+    def noise_sources(self, xop, idx: DeviceIndex) -> list[NoiseSource]:
+        """Small-signal noise current sources evaluated at the OP."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"

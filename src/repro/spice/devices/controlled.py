@@ -1,0 +1,137 @@
+"""Controlled sources: VCVS (E), VCCS (G), CCCS (F), CCVS (H).
+
+Current-controlled sources reference the branch current of a named
+:class:`~repro.spice.devices.sources.VoltageSource`, following classic SPICE
+usage; the sense-source branch index is resolved at compile time and passed
+in ``idx.branches`` after the device's own branches.
+"""
+
+from __future__ import annotations
+
+from .base import Device, DeviceIndex
+
+__all__ = ["VCVS", "VCCS", "CCCS", "CCVS"]
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source: ``v(a,b) = gain * v(c,d)``."""
+
+    num_branches = 1
+
+    def __init__(self, name: str, a: str, b: str, c: str, d: str, gain: float):
+        super().__init__(name, (a, b, c, d))
+        self.gain = float(gain)
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b, c, d = idx.nodes
+        (br,) = idx.branches
+        ib = x[br]
+        sys.add_res(a, ib)
+        sys.add_res(b, -ib)
+        sys.add_jac(a, br, 1.0)
+        sys.add_jac(b, br, -1.0)
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        vc = x[c] if c >= 0 else 0.0
+        vd = x[d] if d >= 0 else 0.0
+        sys.add_res(br, va - vb - self.gain * (vc - vd))
+        sys.add_jac(br, a, 1.0)
+        sys.add_jac(br, b, -1.0)
+        sys.add_jac(br, c, -self.gain)
+        sys.add_jac(br, d, self.gain)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b, c, d = idx.nodes
+        (br,) = idx.branches
+        sys.add_G(a, br, 1.0)
+        sys.add_G(b, br, -1.0)
+        sys.add_G(br, a, 1.0)
+        sys.add_G(br, b, -1.0)
+        sys.add_G(br, c, -self.gain)
+        sys.add_G(br, d, self.gain)
+
+
+class VCCS(Device):
+    """Voltage-controlled current source: ``i(a->b) = gm * v(c,d)``."""
+
+    def __init__(self, name: str, a: str, b: str, c: str, d: str, gm: float):
+        super().__init__(name, (a, b, c, d))
+        self.gm = float(gm)
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b, c, d = idx.nodes
+        vc = x[c] if c >= 0 else 0.0
+        vd = x[d] if d >= 0 else 0.0
+        current = self.gm * (vc - vd)
+        sys.add_res(a, current)
+        sys.add_res(b, -current)
+        sys.add_jac(a, c, self.gm)
+        sys.add_jac(a, d, -self.gm)
+        sys.add_jac(b, c, -self.gm)
+        sys.add_jac(b, d, self.gm)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b, c, d = idx.nodes
+        sys.add_G(a, c, self.gm)
+        sys.add_G(a, d, -self.gm)
+        sys.add_G(b, c, -self.gm)
+        sys.add_G(b, d, self.gm)
+
+
+class CCCS(Device):
+    """Current-controlled current source: ``i(a->b) = gain * i(Vsense)``."""
+
+    def __init__(self, name: str, a: str, b: str, sense: str, gain: float):
+        super().__init__(name, (a, b))
+        self.sense = str(sense)
+        self.gain = float(gain)
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        (sense_br,) = idx.branches
+        i_sense = x[sense_br]
+        sys.add_res(a, self.gain * i_sense)
+        sys.add_res(b, -self.gain * i_sense)
+        sys.add_jac(a, sense_br, self.gain)
+        sys.add_jac(b, sense_br, -self.gain)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        (sense_br,) = idx.branches
+        sys.add_G(a, sense_br, self.gain)
+        sys.add_G(b, sense_br, -self.gain)
+
+
+class CCVS(Device):
+    """Current-controlled voltage source: ``v(a,b) = r * i(Vsense)``."""
+
+    num_branches = 1
+
+    def __init__(self, name: str, a: str, b: str, sense: str, r: float):
+        super().__init__(name, (a, b))
+        self.sense = str(sense)
+        self.r = float(r)
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        br, sense_br = idx.branches
+        ib = x[br]
+        sys.add_res(a, ib)
+        sys.add_res(b, -ib)
+        sys.add_jac(a, br, 1.0)
+        sys.add_jac(b, br, -1.0)
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        sys.add_res(br, va - vb - self.r * x[sense_br])
+        sys.add_jac(br, a, 1.0)
+        sys.add_jac(br, b, -1.0)
+        sys.add_jac(br, sense_br, -self.r)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        br, sense_br = idx.branches
+        sys.add_G(a, br, 1.0)
+        sys.add_G(b, br, -1.0)
+        sys.add_G(br, a, 1.0)
+        sys.add_G(br, b, -1.0)
+        sys.add_G(br, sense_br, -self.r)

@@ -1,0 +1,104 @@
+"""Junction diode with exponential I-V and junction-voltage limiting."""
+
+from __future__ import annotations
+
+import math
+
+from .base import TRAP_THETA, Device, DeviceIndex
+
+__all__ = ["Diode"]
+
+_THERMAL_VOLTAGE = 0.025852  # kT/q at 300 K
+
+
+class Diode(Device):
+    """Shockley diode ``i = Is (exp(v/n Vt) - 1)`` with series gmin."""
+
+    nonlinear = True
+    dynamic = True
+
+    def __init__(self, name: str, anode: str, cathode: str, *, i_s: float = 1e-14,
+                 n: float = 1.0, cj0: float = 0.0):
+        super().__init__(name, (anode, cathode))
+        self.i_s = float(i_s)
+        self.n = float(n)
+        self.cj0 = float(cj0)
+        self._vte = self.n * _THERMAL_VOLTAGE
+        # Critical voltage above which the exponential is linearized to keep
+        # Newton iterates finite (standard SPICE pnjlim-style safeguard).
+        self._vcrit = self._vte * math.log(self._vte / (math.sqrt(2.0) * self.i_s))
+
+    def _iv(self, v: float) -> tuple[float, float]:
+        """Return (current, conductance) with overflow-safe linearization."""
+        if v > self._vcrit:
+            g0 = self.i_s / self._vte * math.exp(self._vcrit / self._vte)
+            i0 = self.i_s * (math.exp(self._vcrit / self._vte) - 1.0)
+            return i0 + g0 * (v - self._vcrit), g0
+        if v < -20.0 * self._vte:
+            return -self.i_s, 1e-15
+        expv = math.exp(v / self._vte)
+        return self.i_s * (expv - 1.0), self.i_s / self._vte * expv
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        current, g = self._iv(va - vb)
+        sys.add_res(a, current)
+        sys.add_res(b, -current)
+        sys.add_jac(a, a, g)
+        sys.add_jac(a, b, -g)
+        sys.add_jac(b, a, -g)
+        sys.add_jac(b, b, g)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        va = xop[a] if a >= 0 else 0.0
+        vb = xop[b] if b >= 0 else 0.0
+        _, g = self._iv(va - vb)
+        sys.stamp_G_pair(a, b, g)
+        if self.cj0:
+            sys.stamp_C_pair(a, b, self.cj0)
+
+    # Junction capacitance in transient: constant cj0 approximation.
+    def init_state(self, x, idx: DeviceIndex):
+        if not self.cj0:
+            return None
+        a, b = idx.nodes
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        return {"v": va - vb, "i": 0.0}
+
+    def stamp_dynamic(self, sys, x, idx: DeviceIndex, state, dt: float, method: str) -> None:
+        if state is None:
+            return
+        a, b = idx.nodes
+        if method == "trapezoidal":
+            geq = self.cj0 / (TRAP_THETA * dt)
+            ieq = geq * state["v"] + (1.0 - TRAP_THETA) / TRAP_THETA * state["i"]
+        else:
+            geq = self.cj0 / dt
+            ieq = geq * state["v"]
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        current = geq * (va - vb) - ieq
+        sys.add_res(a, current)
+        sys.add_res(b, -current)
+        sys.add_jac(a, a, geq)
+        sys.add_jac(a, b, -geq)
+        sys.add_jac(b, a, -geq)
+        sys.add_jac(b, b, geq)
+
+    def update_state(self, x, idx: DeviceIndex, state, dt: float, method: str):
+        if state is None:
+            return None
+        a, b = idx.nodes
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        v_new = va - vb
+        if method == "trapezoidal":
+            geq = self.cj0 / (TRAP_THETA * dt)
+            i_new = geq * (v_new - state["v"]) - (1.0 - TRAP_THETA) / TRAP_THETA * state["i"]
+        else:
+            i_new = self.cj0 / dt * (v_new - state["v"])
+        return {"v": v_new, "i": i_new}

@@ -1,0 +1,324 @@
+"""Level-1 (square-law) MOSFET with smoothed transitions.
+
+The classic Level-1 model has C0 discontinuities at the cutoff and
+triode/saturation boundaries that stall Newton iterations.  This
+implementation smooths both:
+
+* the overdrive is ``vov_eff = (vov + sqrt(vov^2 + 4 delta^2)) / 2`` — a
+  softplus-like function that keeps a tiny sub-threshold conduction and a
+  non-zero gm everywhere;
+* the effective drain-source voltage is ``vdse = vds / (1 + (vds/vdsat)^4)^(1/4)``,
+  a smooth, monotonic saturation of ``vds`` at ``vdsat`` whose derivative has
+  the closed form ``(1 + r^4)^(-5/4)``.
+
+Channel-length modulation ``(1 + lambda vds)``, body effect
+(``vth = vto + gamma (sqrt(2 phi + vsb) - sqrt(2 phi))``), source/drain
+swapping for reverse operation and PMOS polarity folding are all supported.
+Capacitances follow the Meyer piecewise model plus constant overlap and
+junction terms; noise is channel thermal noise ``4kT (2/3) gm`` plus
+``1/f`` flicker noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .base import TRAP_THETA, Device, DeviceIndex, NoiseSource
+from .passives import BOLTZMANN, ROOM_TEMPERATURE
+
+__all__ = ["MOSModel", "MOSFET", "NMOS_180", "PMOS_180", "NMOS_7", "PMOS_7"]
+
+
+@dataclass(frozen=True)
+class MOSModel:
+    """Process parameters for a MOSFET flavour."""
+
+    name: str
+    polarity: str  # 'n' or 'p'
+    kp: float = 200e-6       # transconductance parameter mu*Cox [A/V^2]
+    vto: float = 0.5         # zero-bias threshold [V] (positive for both polarities)
+    lam: float = 0.05        # channel-length modulation [1/V] at L = lref
+    lref: float = 1e-6       # reference length for lambda scaling [m]
+    gamma: float = 0.0       # body-effect coefficient [sqrt(V)]
+    phi: float = 0.7         # surface potential 2*phi_F [V]
+    cox: float = 8e-3        # gate-oxide capacitance [F/m^2]
+    cgso: float = 3e-10      # G-S overlap capacitance [F/m]
+    cgdo: float = 3e-10      # G-D overlap capacitance [F/m]
+    cj: float = 1e-3         # junction capacitance per area for D/S diffusions [F/m^2]
+    kf: float = 1e-27        # flicker-noise coefficient (SPICE2 form)
+    af: float = 1.0          # flicker-noise current exponent
+    smooth: float = 2e-3     # transition smoothing voltage delta [V]
+
+    def __post_init__(self):
+        if self.polarity not in ("n", "p"):
+            raise ValueError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+
+
+# Representative 180 nm-class models (used by the paper's building blocks).
+NMOS_180 = MOSModel("nmos180", "n", kp=300e-6, vto=0.45, lam=0.06, lref=0.5e-6,
+                    gamma=0.4, phi=0.8, cox=8.5e-3, cgso=3.5e-10, cgdo=3.5e-10)
+PMOS_180 = MOSModel("pmos180", "p", kp=100e-6, vto=0.45, lam=0.08, lref=0.5e-6,
+                    gamma=0.4, phi=0.8, cox=8.5e-3, cgso=3.5e-10, cgdo=3.5e-10)
+
+# Representative advanced-node models (used by the industrial circuits; the
+# absolute values are generic, only the qualitative behaviour matters).
+NMOS_7 = MOSModel("nmos7", "n", kp=450e-6, vto=0.30, lam=0.15, lref=0.05e-6,
+                  gamma=0.25, phi=0.7, cox=18e-3, cgso=2e-10, cgdo=2e-10)
+PMOS_7 = MOSModel("pmos7", "p", kp=300e-6, vto=0.30, lam=0.18, lref=0.05e-6,
+                  gamma=0.25, phi=0.7, cox=18e-3, cgso=2e-10, cgdo=2e-10)
+
+
+@dataclass
+class _Operating:
+    """Small-signal quantities at one bias point (normalized orientation)."""
+
+    ids: float = 0.0
+    vgs: float = 0.0
+    vds: float = 0.0
+    vsb: float = 0.0
+    vth: float = 0.0
+    vdsat: float = 0.0
+    gm: float = 0.0
+    gds: float = 0.0
+    gmb: float = 0.0
+    reverse: bool = False
+    region: str = "cutoff"
+
+    @property
+    def saturation_margin(self) -> float:
+        """``vds - vdsat`` in the conducting orientation (negative = triode)."""
+        return self.vds - self.vdsat
+
+
+class MOSFET(Device):
+    """Four-terminal MOSFET: nodes (drain, gate, source, bulk)."""
+
+    nonlinear = True
+    dynamic = True
+
+    def __init__(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                 model: MOSModel, w: float, l: float, m: int = 1):
+        super().__init__(name, (drain, gate, source, bulk))
+        if w <= 0 or l <= 0:
+            raise ValueError(f"MOSFET {name}: W and L must be positive")
+        if m < 1:
+            raise ValueError(f"MOSFET {name}: multiplier must be >= 1")
+        self.model = model
+        self.w = float(w)
+        self.l = float(l)
+        self.m = int(m)
+
+    # ------------------------------------------------------------------
+    # Core I-V in the normalized (NMOS, vds >= 0) orientation
+    # ------------------------------------------------------------------
+    @property
+    def _k(self) -> float:
+        return self.model.kp * (self.w / self.l) * self.m
+
+    @property
+    def _lam(self) -> float:
+        # Lambda weakens with longer channels: lam ~ lam0 * lref / L.
+        return self.model.lam * self.model.lref / self.l
+
+    def _vth(self, vsb: float) -> tuple[float, float]:
+        """Threshold voltage and its derivative d(vth)/d(vsb)."""
+        model = self.model
+        if model.gamma == 0.0:
+            return model.vto, 0.0
+        arg = model.phi + vsb
+        if arg < 0.05:
+            # Deep forward body bias: clamp vth flat (derivative zero) so the
+            # Jacobian stays consistent with the clamped value.
+            sq = math.sqrt(0.05)
+            return model.vto + model.gamma * (sq - math.sqrt(model.phi)), 0.0
+        sq = math.sqrt(arg)
+        vth = model.vto + model.gamma * (sq - math.sqrt(model.phi))
+        return vth, model.gamma / (2.0 * sq)
+
+    def _ids(self, vgs: float, vds: float, vsb: float):
+        """Drain current and partials wrt (vgs, vds, vsb); requires vds >= 0."""
+        delta = self.model.smooth
+        vth, dvth_dvsb = self._vth(vsb)
+        vov = vgs - vth
+        s = math.sqrt(vov * vov + 4.0 * delta * delta)
+        vov_eff = 0.5 * (vov + s)
+        dvov_eff = 0.5 * (1.0 + vov / s)
+
+        vdsat = vov_eff
+        r = vds / vdsat
+        r4 = r**4
+        u = (1.0 + r4) ** 0.25
+        vdse = vds / u
+        dvdse_dvds = (1.0 + r4) ** -1.25
+        dvdse_dvdsat = (r**5) * (1.0 + r4) ** -1.25
+
+        k = self._k
+        lam = self._lam
+        clm = 1.0 + lam * vds
+        f = vov_eff * vdse - 0.5 * vdse * vdse
+        ids = k * f * clm
+
+        did_dvdse = k * clm * (vov_eff - vdse)
+        did_dvov = k * clm * vdse + did_dvdse * dvdse_dvdsat
+        did_dvgs = did_dvov * dvov_eff
+        did_dvds = k * lam * f + did_dvdse * dvdse_dvds
+        did_dvsb = -did_dvov * dvov_eff * dvth_dvsb
+
+        op = _Operating(ids=ids, vgs=vgs, vds=vds, vsb=vsb, vth=vth, vdsat=vdsat,
+                        gm=did_dvgs, gds=did_dvds, gmb=-did_dvsb)
+        if vov < 0:
+            op.region = "cutoff"
+        elif vds < vdsat:
+            op.region = "triode"
+        else:
+            op.region = "saturation"
+        return ids, did_dvgs, did_dvds, did_dvsb, op
+
+    # ------------------------------------------------------------------
+    # Terminal currents in actual polarity/orientation
+    # ------------------------------------------------------------------
+    def terminal_current(self, vd: float, vg: float, vs: float, vb: float):
+        """Current into the drain terminal and its partials wrt (vd, vg, vs, vb)."""
+        sign = 1.0 if self.model.polarity == "n" else -1.0
+        nvd, nvg, nvs, nvb = sign * vd, sign * vg, sign * vs, sign * vb
+        if nvd >= nvs:
+            ids, dg, dd, db, op = self._ids(nvg - nvs, nvd - nvs, nvs - nvb)
+            op.reverse = False
+            current = sign * ids
+            derivs = (dd, dg, -dg - dd + db, -db)
+        else:
+            ids, dg, dd, db, op = self._ids(nvg - nvd, nvs - nvd, nvd - nvb)
+            op.reverse = True
+            current = -sign * ids
+            # vgs_r = vg-vd, vds_r = vs-vd, vsb_r = vd-vb; I_drain = -ids_r
+            derivs = (dg + dd - db, -dg, -dd, db)
+        return current, derivs, op
+
+    def operating_point(self, x, idx: DeviceIndex) -> _Operating:
+        """Small-signal operating data at the solution ``x``."""
+        vd, vg, vs, vb = (x[i] if i >= 0 else 0.0 for i in idx.nodes)
+        _, _, op = self.terminal_current(vd, vg, vs, vb)
+        return op
+
+    # ------------------------------------------------------------------
+    # Stamps
+    # ------------------------------------------------------------------
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        d, g, s, b = idx.nodes
+        vd, vg, vs, vb = (x[i] if i >= 0 else 0.0 for i in idx.nodes)
+        current, derivs, _ = self.terminal_current(vd, vg, vs, vb)
+        sys.add_res(d, current)
+        sys.add_res(s, -current)
+        for col, deriv in zip((d, g, s, b), derivs):
+            sys.add_jac(d, col, deriv)
+            sys.add_jac(s, col, -deriv)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        d, g, s, b = idx.nodes
+        vd, vg, vs, vb = (xop[i] if i >= 0 else 0.0 for i in idx.nodes)
+        _, derivs, _ = self.terminal_current(vd, vg, vs, vb)
+        for col, deriv in zip((d, g, s, b), derivs):
+            sys.add_G(d, col, deriv)
+            sys.add_G(s, col, -deriv)
+        cgs, cgd, cgb, cdb, csb = self._capacitances(vd, vg, vs, vb)
+        sys.stamp_C_pair(g, s, cgs)
+        sys.stamp_C_pair(g, d, cgd)
+        sys.stamp_C_pair(g, b, cgb)
+        sys.stamp_C_pair(d, b, cdb)
+        sys.stamp_C_pair(s, b, csb)
+
+    # ------------------------------------------------------------------
+    # Meyer capacitances
+    # ------------------------------------------------------------------
+    def _capacitances(self, vd, vg, vs, vb):
+        model = self.model
+        cox_total = model.cox * self.w * self.l * self.m
+        ovl_s = model.cgso * self.w * self.m
+        ovl_d = model.cgdo * self.w * self.m
+        # Junction (diffusion) capacitance: assume diffusion area ~ W * 3*lref.
+        cj_diff = model.cj * self.w * 3.0 * model.lref * self.m
+        _, _, op = self.terminal_current(vd, vg, vs, vb)
+        if op.region == "cutoff":
+            cgs, cgd, cgb = ovl_s, ovl_d, cox_total
+        elif op.region == "saturation":
+            cgs, cgd, cgb = (2.0 / 3.0) * cox_total + ovl_s, ovl_d, 0.0
+        else:
+            cgs = 0.5 * cox_total + ovl_s
+            cgd = 0.5 * cox_total + ovl_d
+            cgb = 0.0
+        if op.reverse:
+            cgs, cgd = cgd, cgs
+        return cgs, cgd, cgb, cj_diff, cj_diff
+
+    # Transient: Meyer caps held at start-of-step voltages (linear within step).
+    def init_state(self, x, idx: DeviceIndex):
+        voltages = tuple(x[i] if i >= 0 else 0.0 for i in idx.nodes)
+        caps = self._capacitances(*voltages)
+        vd, vg, vs, vb = voltages
+        pairs = ((vg, vs), (vg, vd), (vg, vb), (vd, vb), (vs, vb))
+        return {"caps": caps, "v": [p - q for p, q in pairs], "i": [0.0] * 5}
+
+    _CAP_PAIRS = ((1, 2), (1, 0), (1, 3), (0, 3), (2, 3))  # (g,s) (g,d) (g,b) (d,b) (s,b)
+
+    def stamp_dynamic(self, sys, x, idx: DeviceIndex, state, dt: float, method: str) -> None:
+        for pair_index, (ia, ib) in enumerate(self._CAP_PAIRS):
+            a, b = idx.nodes[ia], idx.nodes[ib]
+            cap = state["caps"][pair_index]
+            if cap <= 0.0:
+                continue
+            if method == "trapezoidal":
+                geq = cap / (TRAP_THETA * dt)
+                ieq = (geq * state["v"][pair_index]
+                       + (1.0 - TRAP_THETA) / TRAP_THETA * state["i"][pair_index])
+            else:
+                geq = cap / dt
+                ieq = geq * state["v"][pair_index]
+            va = x[a] if a >= 0 else 0.0
+            vb = x[b] if b >= 0 else 0.0
+            current = geq * (va - vb) - ieq
+            sys.add_res(a, current)
+            sys.add_res(b, -current)
+            sys.add_jac(a, a, geq)
+            sys.add_jac(a, b, -geq)
+            sys.add_jac(b, a, -geq)
+            sys.add_jac(b, b, geq)
+
+    def update_state(self, x, idx: DeviceIndex, state, dt: float, method: str):
+        voltages = tuple(x[i] if i >= 0 else 0.0 for i in idx.nodes)
+        new_v = []
+        new_i = []
+        for pair_index, (ia, ib) in enumerate(self._CAP_PAIRS):
+            a, b = idx.nodes[ia], idx.nodes[ib]
+            va = voltages[ia]
+            vb = voltages[ib]
+            v_new = va - vb
+            cap = state["caps"][pair_index]
+            if cap <= 0.0:
+                i_new = 0.0
+            elif method == "trapezoidal":
+                geq = cap / (TRAP_THETA * dt)
+                i_new = (geq * (v_new - state["v"][pair_index])
+                         - (1.0 - TRAP_THETA) / TRAP_THETA * state["i"][pair_index])
+            else:
+                i_new = cap / dt * (v_new - state["v"][pair_index])
+            new_v.append(v_new)
+            new_i.append(i_new)
+        return {"caps": self._capacitances(*voltages), "v": new_v, "i": new_i}
+
+    # ------------------------------------------------------------------
+    # Noise
+    # ------------------------------------------------------------------
+    def noise_sources(self, xop, idx: DeviceIndex) -> list[NoiseSource]:
+        d, _, s, _ = idx.nodes
+        op = self.operating_point(xop, idx)
+        thermal = 4.0 * BOLTZMANN * ROOM_TEMPERATURE * (2.0 / 3.0) * max(op.gm, 0.0)
+        # SPICE2 flicker form: KF * Id^AF / (COX * L^2 * f), COX per unit area.
+        flicker_num = self.model.kf * abs(op.ids) ** self.model.af
+        flicker_den = self.model.cox * self.l * self.l
+
+        def psd(freq: float) -> float:
+            flicker = flicker_num / (flicker_den * max(freq, 1e-3))
+            return thermal + flicker
+
+        return [NoiseSource(f"{self.name}:channel", d, s, psd)]

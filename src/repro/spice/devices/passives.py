@@ -1,0 +1,162 @@
+"""Passive elements: resistor, capacitor, inductor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..units import parse_value
+from .base import TRAP_THETA, Device, DeviceIndex, NoiseSource
+
+__all__ = ["Resistor", "Capacitor", "Inductor", "BOLTZMANN", "ROOM_TEMPERATURE"]
+
+BOLTZMANN = 1.380649e-23
+ROOM_TEMPERATURE = 300.0
+
+
+class Resistor(Device):
+    """Linear resistor with thermal (Johnson) noise ``4kT/R``."""
+
+    def __init__(self, name: str, a: str, b: str, value):
+        super().__init__(name, (a, b))
+        self.value = parse_value(value)
+        if self.value <= 0:
+            raise ValueError(f"resistor {name}: value must be positive, got {self.value}")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.value
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        sys.stamp_conductance(a, b, self.conductance, x)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        sys.stamp_G_pair(a, b, self.conductance)
+
+    def noise_sources(self, xop, idx: DeviceIndex) -> list[NoiseSource]:
+        a, b = idx.nodes
+        psd_value = 4.0 * BOLTZMANN * ROOM_TEMPERATURE * self.conductance
+
+        def psd(_freq: float) -> float:
+            return psd_value
+
+        return [NoiseSource(f"{self.name}:thermal", a, b, psd)]
+
+
+class Capacitor(Device):
+    """Linear capacitor; open in DC, companion conductance in transient."""
+
+    dynamic = True
+
+    def __init__(self, name: str, a: str, b: str, value, ic: float | None = None):
+        super().__init__(name, (a, b))
+        self.value = parse_value(value)
+        if self.value < 0:
+            raise ValueError(f"capacitor {name}: value must be non-negative")
+        #: optional initial condition (volts across a-b) for ``uic`` transients
+        self.ic = ic
+
+    def init_state(self, x, idx: DeviceIndex):
+        a, b = idx.nodes
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        return {"v": va - vb, "i": 0.0}
+
+    def _companion(self, state, dt: float, method: str) -> tuple[float, float]:
+        if method == "trapezoidal":
+            geq = self.value / (TRAP_THETA * dt)
+            ieq = geq * state["v"] + (1.0 - TRAP_THETA) / TRAP_THETA * state["i"]
+        else:  # backward Euler
+            geq = self.value / dt
+            ieq = geq * state["v"]
+        return geq, ieq
+
+    def stamp_dynamic(self, sys, x, idx: DeviceIndex, state, dt: float, method: str) -> None:
+        a, b = idx.nodes
+        geq, ieq = self._companion(state, dt, method)
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        current = geq * (va - vb) - ieq
+        sys.add_res(a, current)
+        sys.add_res(b, -current)
+        sys.add_jac(a, a, geq)
+        sys.add_jac(a, b, -geq)
+        sys.add_jac(b, a, -geq)
+        sys.add_jac(b, b, geq)
+
+    def update_state(self, x, idx: DeviceIndex, state, dt: float, method: str):
+        a, b = idx.nodes
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        v_new = va - vb
+        geq, ieq = self._companion(state, dt, method)
+        i_new = geq * v_new - ieq
+        return {"v": v_new, "i": i_new}
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        sys.stamp_C_pair(a, b, self.value)
+
+
+class Inductor(Device):
+    """Linear inductor; short in DC via its branch-current unknown."""
+
+    dynamic = True
+    num_branches = 1
+
+    def __init__(self, name: str, a: str, b: str, value, ic: float | None = None):
+        super().__init__(name, (a, b))
+        self.value = parse_value(value)
+        if self.value <= 0:
+            raise ValueError(f"inductor {name}: value must be positive")
+        #: optional initial branch current for ``uic`` transients
+        self.ic = ic
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        # DC: behaves as a 0 V source (short).  Branch equation: va - vb = 0.
+        a, b = idx.nodes
+        (br,) = idx.branches
+        ib = x[br]
+        sys.add_res(a, ib)
+        sys.add_res(b, -ib)
+        sys.add_jac(a, br, 1.0)
+        sys.add_jac(b, br, -1.0)
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        sys.add_res(br, va - vb)
+        sys.add_jac(br, a, 1.0)
+        sys.add_jac(br, b, -1.0)
+
+    def init_state(self, x, idx: DeviceIndex):
+        (br,) = idx.branches
+        return {"i": x[br], "v": 0.0}
+
+    def stamp_dynamic(self, sys, x, idx: DeviceIndex, state, dt: float, method: str) -> None:
+        # Replaces the DC short: branch eq becomes va - vb - req*ib + veq = 0.
+        (br,) = idx.branches
+        ib = x[br]
+        if method == "trapezoidal":
+            req = self.value / (TRAP_THETA * dt)
+            veq = req * state["i"] + (1.0 - TRAP_THETA) / TRAP_THETA * state["v"]
+        else:
+            req = self.value / dt
+            veq = req * state["i"]
+        sys.add_res(br, -req * ib + veq)
+        sys.add_jac(br, br, -req)
+
+    def update_state(self, x, idx: DeviceIndex, state, dt: float, method: str):
+        a, b = idx.nodes
+        (br,) = idx.branches
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        return {"i": x[br], "v": va - vb}
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        (br,) = idx.branches
+        sys.add_G(a, br, 1.0)
+        sys.add_G(b, br, -1.0)
+        sys.add_G(br, a, 1.0)
+        sys.add_G(br, b, -1.0)
+        sys.add_C(br, br, -self.value)

@@ -1,0 +1,200 @@
+"""Independent sources and their time-domain waveforms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..units import parse_value
+from .base import Device, DeviceIndex
+
+__all__ = ["Waveform", "DC", "Pulse", "Sin", "PWL", "VoltageSource", "CurrentSource"]
+
+
+class Waveform:
+    """Time-domain stimulus description."""
+
+    def value(self, t: float) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def dc_value(self) -> float:
+        return self.value(0.0)
+
+    def breakpoints(self, tstop: float) -> list[float]:
+        """Times where the waveform has slope discontinuities (for the
+        transient stepper to land on exactly)."""
+        return []
+
+
+class DC(Waveform):
+    """Constant value."""
+
+    def __init__(self, value):
+        self.level = parse_value(value)
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+class Pulse(Waveform):
+    """SPICE PULSE(v1 v2 td tr tf pw period)."""
+
+    def __init__(self, v1, v2, delay=0.0, rise=1e-12, fall=1e-12, width=1e-6, period=None):
+        self.v1 = parse_value(v1)
+        self.v2 = parse_value(v2)
+        self.delay = parse_value(delay)
+        self.rise = max(parse_value(rise), 1e-15)
+        self.fall = max(parse_value(fall), 1e-15)
+        self.width = parse_value(width)
+        if period is None:
+            period = self.delay + self.rise + self.fall + 2.0 * self.width
+        self.period = parse_value(period)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tau = (t - self.delay) % self.period
+        if tau < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tau / self.rise
+        if tau < self.rise + self.width:
+            return self.v2
+        if tau < self.rise + self.width + self.fall:
+            frac = (tau - self.rise - self.width) / self.fall
+            return self.v2 + (self.v1 - self.v2) * frac
+        return self.v1
+
+    def breakpoints(self, tstop: float) -> list[float]:
+        points = []
+        start = self.delay
+        while start < tstop:
+            for offset in (0.0, self.rise, self.rise + self.width,
+                           self.rise + self.width + self.fall):
+                instant = start + offset
+                if instant <= tstop:
+                    points.append(instant)
+            start += self.period
+            if self.period <= 0:
+                break
+        return points
+
+
+class Sin(Waveform):
+    """SPICE SIN(vo va freq td theta)."""
+
+    def __init__(self, offset, amplitude, freq, delay=0.0, damping=0.0):
+        self.offset = parse_value(offset)
+        self.amplitude = parse_value(amplitude)
+        self.freq = parse_value(freq)
+        self.delay = parse_value(delay)
+        self.damping = parse_value(damping)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        dt = t - self.delay
+        return self.offset + self.amplitude * math.exp(-self.damping * dt) * math.sin(
+            2.0 * math.pi * self.freq * dt)
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform from (time, value) points."""
+
+    def __init__(self, points):
+        if len(points) < 1:
+            raise ValueError("PWL needs at least one point")
+        times = [parse_value(t) for t, _ in points]
+        values = [parse_value(v) for _, v in points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self.times = np.asarray(times)
+        self.values = np.asarray(values)
+
+    def value(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.values))
+
+    def breakpoints(self, tstop: float) -> list[float]:
+        return [float(t) for t in self.times if t <= tstop]
+
+
+def _as_waveform(value) -> Waveform:
+    if isinstance(value, Waveform):
+        return value
+    return DC(value)
+
+
+class VoltageSource(Device):
+    """Independent voltage source with a branch-current unknown.
+
+    The branch current is defined as flowing from the ``+`` node through the
+    source to the ``-`` node, so a positive supply delivering power has a
+    negative branch current (current exits the ``+`` terminal into the
+    circuit).  ``ac`` sets the small-signal stimulus magnitude.
+    """
+
+    num_branches = 1
+
+    def __init__(self, name: str, plus: str, minus: str, value=0.0, ac: float = 0.0):
+        super().__init__(name, (plus, minus))
+        self.waveform = _as_waveform(value)
+        self.ac = float(ac)
+
+    def voltage_at(self, t: float | None) -> float:
+        if t is None:
+            return self.waveform.dc_value()
+        return self.waveform.value(t)
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        (br,) = idx.branches
+        ib = x[br]
+        sys.add_res(a, ib)
+        sys.add_res(b, -ib)
+        sys.add_jac(a, br, 1.0)
+        sys.add_jac(b, br, -1.0)
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        target = sys.source_scale * self.voltage_at(sys.time)
+        sys.add_res(br, va - vb - target)
+        sys.add_jac(br, a, 1.0)
+        sys.add_jac(br, b, -1.0)
+
+    def stamp_smallsignal(self, sys, xop, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        (br,) = idx.branches
+        sys.add_G(a, br, 1.0)
+        sys.add_G(b, br, -1.0)
+        sys.add_G(br, a, 1.0)
+        sys.add_G(br, b, -1.0)
+
+    def stamp_ac_rhs(self, sys, idx: DeviceIndex) -> None:
+        if self.ac:
+            (br,) = idx.branches
+            sys.add_rhs(br, self.ac)
+
+
+class CurrentSource(Device):
+    """Independent current source; current flows from ``+`` through the
+    source to ``-`` (i.e. it is pushed into the ``-`` node's circuit side)."""
+
+    def __init__(self, name: str, plus: str, minus: str, value=0.0, ac: float = 0.0):
+        super().__init__(name, (plus, minus))
+        self.waveform = _as_waveform(value)
+        self.ac = float(ac)
+
+    def current_at(self, t: float | None) -> float:
+        if t is None:
+            return self.waveform.dc_value()
+        return self.waveform.value(t)
+
+    def stamp_static(self, sys, x, idx: DeviceIndex) -> None:
+        a, b = idx.nodes
+        current = sys.source_scale * self.current_at(sys.time)
+        sys.add_res(a, current)
+        sys.add_res(b, -current)
+
+    def stamp_ac_rhs(self, sys, idx: DeviceIndex) -> None:
+        if self.ac:
+            a, b = idx.nodes
+            sys.add_rhs(a, -self.ac)
+            sys.add_rhs(b, self.ac)

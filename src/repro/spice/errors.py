@@ -1,0 +1,19 @@
+"""Exception hierarchy for the circuit simulator."""
+
+__all__ = ["SpiceError", "NetlistError", "ConvergenceError", "AnalysisError"]
+
+
+class SpiceError(Exception):
+    """Base class for all simulator errors."""
+
+
+class NetlistError(SpiceError):
+    """Raised for malformed circuits (bad nodes, duplicate names, ...)."""
+
+
+class ConvergenceError(SpiceError):
+    """Raised when the Newton solver fails even after homotopy fallbacks."""
+
+
+class AnalysisError(SpiceError):
+    """Raised when an analysis is mis-configured or its result is unusable."""

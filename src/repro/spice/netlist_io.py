@@ -1,0 +1,208 @@
+"""SPICE-format netlist export and import.
+
+Writes :class:`~repro.spice.netlist.Circuit` objects as classic
+SPICE-syntax decks (so reproduced sizings can be inspected or re-simulated
+in an external simulator), and parses the same dialect back.  Supported
+cards: R, C, L, V, I (DC / PULSE / SIN), E, G, F, H, D, M with bundled
+model names, ``*`` comments and ``.title`` / ``.model`` / ``.end`` lines.
+"""
+
+from __future__ import annotations
+
+from .devices.controlled import CCCS, CCVS, VCCS, VCVS
+from .devices.diode import Diode
+from .devices.mosfet import MOSFET, NMOS_7, NMOS_180, PMOS_7, PMOS_180, MOSModel
+from .devices.passives import Capacitor, Inductor, Resistor
+from .devices.sources import DC, CurrentSource, Pulse, Sin, VoltageSource
+from .errors import NetlistError
+from .netlist import Circuit
+
+__all__ = ["write_netlist", "parse_netlist", "BUNDLED_MODELS"]
+
+BUNDLED_MODELS: dict[str, MOSModel] = {
+    "nmos180": NMOS_180,
+    "pmos180": PMOS_180,
+    "nmos7": NMOS_7,
+    "pmos7": PMOS_7,
+}
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _source_card(device) -> str:
+    wave = device.waveform
+    if isinstance(wave, DC):
+        text = _fmt(wave.level)
+    elif isinstance(wave, Pulse):
+        text = (f"PULSE({_fmt(wave.v1)} {_fmt(wave.v2)} {_fmt(wave.delay)} "
+                f"{_fmt(wave.rise)} {_fmt(wave.fall)} {_fmt(wave.width)} "
+                f"{_fmt(wave.period)})")
+    elif isinstance(wave, Sin):
+        text = (f"SIN({_fmt(wave.offset)} {_fmt(wave.amplitude)} {_fmt(wave.freq)} "
+                f"{_fmt(wave.delay)} {_fmt(wave.damping)})")
+    else:
+        raise NetlistError(f"{device.name}: cannot export waveform {type(wave).__name__}")
+    if device.ac:
+        text += f" AC {_fmt(device.ac)}"
+    return text
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Render ``circuit`` as a SPICE deck string."""
+    lines = [f"* {circuit.title}"]
+    models: dict[str, MOSModel] = {}
+    for dev in circuit.devices:
+        n = dev.nodes
+        if isinstance(dev, Resistor):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {_fmt(dev.value)}")
+        elif isinstance(dev, Capacitor):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {_fmt(dev.value)}")
+        elif isinstance(dev, Inductor):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {_fmt(dev.value)}")
+        elif isinstance(dev, VoltageSource):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {_source_card(dev)}")
+        elif isinstance(dev, CurrentSource):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {_source_card(dev)}")
+        elif isinstance(dev, VCVS):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {n[2]} {n[3]} {_fmt(dev.gain)}")
+        elif isinstance(dev, VCCS):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {n[2]} {n[3]} {_fmt(dev.gm)}")
+        elif isinstance(dev, CCCS):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {dev.sense} {_fmt(dev.gain)}")
+        elif isinstance(dev, CCVS):
+            lines.append(f"{dev.name} {n[0]} {n[1]} {dev.sense} {_fmt(dev.r)}")
+        elif isinstance(dev, Diode):
+            lines.append(f"{dev.name} {n[0]} {n[1]} DMOD IS={_fmt(dev.i_s)} N={_fmt(dev.n)}")
+        elif isinstance(dev, MOSFET):
+            models[dev.model.name] = dev.model
+            # SPICE requires MOSFET cards to start with 'M'.
+            card_name = dev.name if dev.name[0].upper() == "M" else f"M_{dev.name}"
+            lines.append(f"{card_name} {n[0]} {n[1]} {n[2]} {n[3]} {dev.model.name} "
+                         f"W={_fmt(dev.w)} L={_fmt(dev.l)} M={dev.m}")
+        else:
+            raise NetlistError(f"cannot export device type {type(dev).__name__}")
+    for name, model in models.items():
+        polarity = "NMOS" if model.polarity == "n" else "PMOS"
+        lines.append(f".model {name} {polarity} KP={_fmt(model.kp)} VTO={_fmt(model.vto)} "
+                     f"LAMBDA={_fmt(model.lam)} LREF={_fmt(model.lref)} "
+                     f"GAMMA={_fmt(model.gamma)} PHI={_fmt(model.phi)} "
+                     f"COX={_fmt(model.cox)} CGSO={_fmt(model.cgso)} "
+                     f"CGDO={_fmt(model.cgdo)} CJ={_fmt(model.cj)} "
+                     f"KF={_fmt(model.kf)} SMOOTH={_fmt(model.smooth)}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_params(tokens: list[str]) -> dict[str, str]:
+    params = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            params[key.lower()] = value
+    return params
+
+
+def _parse_source_value(rest: list[str]):
+    """Parse a source value clause -> (waveform, ac)."""
+    joined = " ".join(rest)
+    ac = 0.0
+    if " ac " in joined.lower():
+        head, _, tail = joined.lower().partition(" ac ")
+        ac = float(tail.split()[0])
+        joined = joined[: len(head)]
+    text = joined.strip()
+    upper = text.upper()
+    if upper.startswith("PULSE"):
+        args = [a for a in text[text.index("(") + 1: text.rindex(")")].split()]
+        return Pulse(*args), ac
+    if upper.startswith("SIN"):
+        args = [a for a in text[text.index("(") + 1: text.rindex(")")].split()]
+        return Sin(*args), ac
+    return DC(text.split()[0]), ac
+
+
+def parse_netlist(text: str, extra_models: dict[str, MOSModel] | None = None) -> Circuit:
+    """Parse a SPICE deck produced by :func:`write_netlist` (or compatible)."""
+    models = dict(BUNDLED_MODELS)
+    if extra_models:
+        models.update(extra_models)
+
+    # First pass: collect .model cards.
+    raw_lines = [line.strip() for line in text.splitlines()]
+    title = "imported"
+    for line in raw_lines:
+        if line.lower().startswith(".model"):
+            tokens = line.split()
+            name = tokens[1]
+            polarity = "n" if tokens[2].upper() == "NMOS" else "p"
+            params = _parse_params(tokens[3:])
+            models[name] = MOSModel(
+                name, polarity,
+                kp=float(params.get("kp", 200e-6)),
+                vto=float(params.get("vto", 0.5)),
+                lam=float(params.get("lambda", 0.05)),
+                lref=float(params.get("lref", 1e-6)),
+                gamma=float(params.get("gamma", 0.0)),
+                phi=float(params.get("phi", 0.7)),
+                cox=float(params.get("cox", 8e-3)),
+                cgso=float(params.get("cgso", 3e-10)),
+                cgdo=float(params.get("cgdo", 3e-10)),
+                cj=float(params.get("cj", 1e-3)),
+                kf=float(params.get("kf", 1e-27)),
+                smooth=float(params.get("smooth", 2e-3)),
+            )
+
+    circuit = None
+    for line in raw_lines:
+        if not line or line.startswith("*"):
+            if line.startswith("*") and circuit is None:
+                title = line[1:].strip() or title
+            continue
+        if line.lower().startswith((".model", ".end", ".title")):
+            continue
+        if circuit is None:
+            circuit = Circuit(title)
+        tokens = line.split()
+        name = tokens[0]
+        kind = name[0].upper()
+        if kind == "R":
+            circuit.resistor(name, tokens[1], tokens[2], tokens[3])
+        elif kind == "C":
+            circuit.capacitor(name, tokens[1], tokens[2], tokens[3])
+        elif kind == "L":
+            circuit.inductor(name, tokens[1], tokens[2], tokens[3])
+        elif kind == "V":
+            wave, ac = _parse_source_value(tokens[3:])
+            circuit.add(VoltageSource(name, tokens[1], tokens[2], wave, ac=ac))
+        elif kind == "I":
+            wave, ac = _parse_source_value(tokens[3:])
+            circuit.add(CurrentSource(name, tokens[1], tokens[2], wave, ac=ac))
+        elif kind == "E":
+            circuit.vcvs(name, tokens[1], tokens[2], tokens[3], tokens[4], float(tokens[5]))
+        elif kind == "G":
+            circuit.vccs(name, tokens[1], tokens[2], tokens[3], tokens[4], float(tokens[5]))
+        elif kind == "F":
+            circuit.cccs(name, tokens[1], tokens[2], tokens[3], float(tokens[4]))
+        elif kind == "H":
+            circuit.ccvs(name, tokens[1], tokens[2], tokens[3], float(tokens[4]))
+        elif kind == "D":
+            params = _parse_params(tokens[4:])
+            circuit.diode(name, tokens[1], tokens[2],
+                          i_s=float(params.get("is", 1e-14)),
+                          n=float(params.get("n", 1.0)))
+        elif kind == "M":
+            model_name = tokens[5]
+            if model_name not in models:
+                raise NetlistError(f"{name}: unknown model {model_name!r}")
+            params = _parse_params(tokens[6:])
+            circuit.mosfet(name, tokens[1], tokens[2], tokens[3], tokens[4],
+                           models[model_name],
+                           w=float(params["w"]), l=float(params["l"]),
+                           m=int(float(params.get("m", 1))))
+        else:
+            raise NetlistError(f"unsupported card: {line!r}")
+    if circuit is None:
+        raise NetlistError("empty netlist")
+    return circuit

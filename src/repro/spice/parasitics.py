@@ -1,0 +1,70 @@
+"""Deterministic layout-parasitic estimation (MLParest substitute).
+
+The paper runs MLParest [Shook et al., DAC 2020] inside the DNN-Opt loop so
+industrial sizings are evaluated with estimated post-layout parasitics.  We
+substitute a deterministic estimator with the same interface: given a
+netlist, add wiring capacitance to every node proportional to the connected
+device geometry (bigger devices mean longer wires and more diffusion), plus
+a fixed per-node routing floor.
+"""
+
+from __future__ import annotations
+
+from .devices.mosfet import MOSFET
+from .devices.passives import Capacitor
+from .netlist import GROUND_NAMES, Circuit
+
+__all__ = ["estimate_parasitics", "ParasiticEstimator"]
+
+
+class ParasiticEstimator:
+    """Adds estimated wiring capacitance to each non-ground node.
+
+    Parameters
+    ----------
+    cap_per_width:
+        Capacitance per meter of connected MOSFET gate width [F/m]; models
+        diffusion and local interconnect growing with device size.
+    floor:
+        Fixed routing capacitance added to every node [F].
+    """
+
+    def __init__(self, cap_per_width: float = 0.1e-15 / 1e-6, floor: float = 0.2e-15):
+        self.cap_per_width = float(cap_per_width)
+        self.floor = float(floor)
+
+    def node_capacitance(self, circuit: Circuit) -> dict[str, float]:
+        """Estimated extra capacitance for every non-ground node."""
+        caps: dict[str, float] = {}
+        for node in circuit.node_names():
+            caps[node] = self.floor
+        for device in circuit.devices:
+            if not isinstance(device, MOSFET):
+                continue
+            width = device.w * device.m
+            drain, gate, source, _bulk = device.nodes
+            for node in (drain, gate, source):
+                if node in GROUND_NAMES:
+                    continue
+                caps[node] = caps.get(node, self.floor) + self.cap_per_width * width
+        return caps
+
+    def apply(self, circuit: Circuit, skip: set[str] | frozenset[str] = frozenset()) -> int:
+        """Add the estimated capacitors (named ``CPAR_<node>``) to ``circuit``.
+
+        Nodes in ``skip`` (e.g. ideal supply nets) are left untouched.
+        Returns the number of capacitors added.
+        """
+        added = 0
+        for node, cap in self.node_capacitance(circuit).items():
+            if node in skip or cap <= 0.0:
+                continue
+            circuit.add(Capacitor(f"CPAR_{node}", node, "0", cap))
+            added += 1
+        return added
+
+
+def estimate_parasitics(circuit: Circuit, skip: set[str] | frozenset[str] = frozenset(),
+                        **kwargs) -> int:
+    """Convenience wrapper: apply a default :class:`ParasiticEstimator`."""
+    return ParasiticEstimator(**kwargs).apply(circuit, skip=skip)

@@ -1,0 +1,60 @@
+"""SPICE-style engineering-unit parsing and formatting.
+
+Supports the classic suffixes (``f p n u m k meg g t``) plus ``mil`` is not
+needed for this project.  Parsing is case-insensitive, as in SPICE, which is
+why ``m`` is milli and ``meg`` is mega.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_value", "format_eng", "SUFFIXES"]
+
+SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_VALUE_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*(meg|[tgkmunpfa])?[a-z]*\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse ``"2.5k"``, ``"100n"``, ``"3meg"`` ... into a float.
+
+    Numbers pass through unchanged; trailing unit letters after the suffix
+    (e.g. ``"100nF"``) are ignored, as in SPICE.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _VALUE_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse value: {text!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    if suffix:
+        base *= SUFFIXES[suffix.lower()]
+    return base
+
+
+def format_eng(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a value with engineering notation, e.g. ``format_eng(2.5e-9, 's')``."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for suffix, scale in (("T", 1e12), ("G", 1e9), ("M", 1e6), ("k", 1e3), ("", 1.0),
+                          ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15)):
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {suffix}{unit}".strip()
+    return f"{value:.{digits}g} {unit}".strip()

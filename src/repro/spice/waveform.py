@@ -1,0 +1,217 @@
+"""Waveform and frequency-response measurements.
+
+These free functions implement the ``.measure`` vocabulary the circuit
+testbenches need: threshold crossings, delays, settling time, overshoot in
+the time domain; gain, unity-gain frequency, phase/gain margin, bandwidth
+and peaking in the frequency domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import AnalysisError
+
+__all__ = [
+    "crossings",
+    "delay_between",
+    "rise_time",
+    "settling_time",
+    "overshoot",
+    "steady_state",
+    "db20",
+    "dc_gain_db",
+    "unity_gain_frequency",
+    "phase_margin",
+    "gain_margin_db",
+    "bandwidth_3db",
+    "gain_at",
+    "peaking_db",
+    "peak_frequency",
+]
+
+
+# ----------------------------------------------------------------------
+# Time domain
+# ----------------------------------------------------------------------
+def crossings(t: np.ndarray, y: np.ndarray, level: float,
+              direction: str = "both") -> np.ndarray:
+    """Interpolated times where ``y`` crosses ``level``.
+
+    ``direction`` is ``"rise"``, ``"fall"`` or ``"both"``.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if t.shape != y.shape:
+        raise AnalysisError("t and y must have the same shape")
+    above = y > level
+    switch = np.nonzero(above[1:] != above[:-1])[0]
+    times = []
+    for k in switch:
+        rising = not above[k]
+        if direction == "rise" and not rising:
+            continue
+        if direction == "fall" and rising:
+            continue
+        frac = (level - y[k]) / (y[k + 1] - y[k])
+        times.append(t[k] + frac * (t[k + 1] - t[k]))
+    return np.asarray(times)
+
+
+def delay_between(t: np.ndarray, y_from: np.ndarray, y_to: np.ndarray,
+                  level_from: float, level_to: float,
+                  edge_from: str = "both", edge_to: str = "both",
+                  occurrence: int = 0, slack: float = 0.0) -> float:
+    """Delay from the first crossing of ``y_from`` to the next of ``y_to``.
+
+    ``slack`` accepts target crossings up to that long *before* the
+    reference crossing — needed when the device under test is faster than
+    the stimulus edge, so its output crosses mid-rail before the input's
+    50% point (the delay then comes out slightly negative).
+    """
+    from_times = crossings(t, y_from, level_from, edge_from)
+    if len(from_times) <= occurrence:
+        raise AnalysisError("reference edge not found")
+    t0 = from_times[occurrence]
+    to_times = crossings(t, y_to, level_to, edge_to)
+    later = to_times[to_times >= t0 - slack]
+    if len(later) == 0:
+        raise AnalysisError("target edge not found after reference edge")
+    return float(later[0] - t0)
+
+
+def rise_time(t: np.ndarray, y: np.ndarray, low_frac: float = 0.1,
+              high_frac: float = 0.9) -> float:
+    """10-90% (by default) rise time using initial/final values as rails."""
+    y0, y1 = float(y[0]), float(y[-1])
+    lo = y0 + low_frac * (y1 - y0)
+    hi = y0 + high_frac * (y1 - y0)
+    direction = "rise" if y1 > y0 else "fall"
+    t_lo = crossings(t, y, lo, direction)
+    t_hi = crossings(t, y, hi, direction)
+    if len(t_lo) == 0 or len(t_hi) == 0:
+        raise AnalysisError("rise time edges not found")
+    return float(t_hi[0] - t_lo[0])
+
+
+def settling_time(t: np.ndarray, y: np.ndarray, final: float | None = None,
+                  tolerance: float = 0.01, t_start: float = 0.0) -> float:
+    """Time (relative to ``t_start``) after which ``y`` stays inside the band
+    ``final * (1 +/- tolerance)`` (absolute band if ``final`` is ~0)."""
+    t = np.asarray(t)
+    y = np.asarray(y)
+    if final is None:
+        final = float(y[-1])
+    band = abs(final) * tolerance if abs(final) > 1e-12 else tolerance
+    outside = np.abs(y - final) > band
+    mask = t >= t_start
+    if not np.any(mask):
+        raise AnalysisError("t_start beyond the end of the waveform")
+    indices = np.nonzero(outside & mask)[0]
+    if len(indices) == 0:
+        return 0.0
+    last_out = indices[-1]
+    if last_out + 1 >= len(t):
+        raise AnalysisError("waveform does not settle within the window")
+    return float(t[last_out + 1] - t_start)
+
+
+def overshoot(y: np.ndarray, final: float | None = None) -> float:
+    """Fractional overshoot beyond the final value (0 when monotonic)."""
+    y = np.asarray(y)
+    if final is None:
+        final = float(y[-1])
+    start = float(y[0])
+    swing = final - start
+    if abs(swing) < 1e-15:
+        return 0.0
+    peak = np.max(y) if swing > 0 else np.min(y)
+    return max(0.0, float((peak - final) / swing))
+
+
+def steady_state(y: np.ndarray, fraction: float = 0.05) -> float:
+    """Mean of the trailing ``fraction`` of samples (settled value)."""
+    y = np.asarray(y)
+    n_tail = max(2, int(len(y) * fraction))
+    return float(np.mean(y[-n_tail:]))
+
+
+# ----------------------------------------------------------------------
+# Frequency domain
+# ----------------------------------------------------------------------
+def db20(h: np.ndarray) -> np.ndarray:
+    """Magnitude in dB (floored to avoid log of zero)."""
+    return 20.0 * np.log10(np.maximum(np.abs(h), 1e-30))
+
+
+def dc_gain_db(h: np.ndarray) -> float:
+    """Gain of the lowest-frequency point, in dB."""
+    return float(db20(np.asarray(h))[0])
+
+
+def _interp_log_freq(freqs: np.ndarray, values: np.ndarray, target: float) -> float:
+    """Frequency where ``values`` crosses ``target`` (log-f interpolation)."""
+    below = values <= target
+    switch = np.nonzero(below[1:] != below[:-1])[0]
+    if len(switch) == 0:
+        raise AnalysisError("crossing not found in the analysis band")
+    k = switch[0]
+    logf = np.log10(freqs)
+    frac = (target - values[k]) / (values[k + 1] - values[k])
+    return float(10 ** (logf[k] + frac * (logf[k + 1] - logf[k])))
+
+
+def unity_gain_frequency(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Frequency where |H| falls to 1 (0 dB)."""
+    return _interp_log_freq(np.asarray(freqs), db20(np.asarray(h)), 0.0)
+
+
+def phase_margin(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Phase margin in degrees: 180 + phase(H) at the unity-gain frequency."""
+    freqs = np.asarray(freqs)
+    h = np.asarray(h)
+    fu = unity_gain_frequency(freqs, h)
+    phase = np.unwrap(np.angle(h)) * 180.0 / np.pi
+    # Normalize so the DC phase is 0 (an inverting output just shifts by 180).
+    phase = phase - phase[0]
+    phase_at_fu = float(np.interp(np.log10(fu), np.log10(freqs), phase))
+    return 180.0 + phase_at_fu
+
+
+def gain_margin_db(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Gain margin in dB: -|H| (dB) where the phase crosses -180 degrees."""
+    freqs = np.asarray(freqs)
+    h = np.asarray(h)
+    phase = np.unwrap(np.angle(h)) * 180.0 / np.pi
+    phase = phase - phase[0]
+    try:
+        f180 = _interp_log_freq(freqs, phase, -180.0)
+    except AnalysisError:
+        return float("inf")  # phase never reaches -180: unconditionally stable
+    mag = db20(h)
+    mag_at = float(np.interp(np.log10(f180), np.log10(freqs), mag))
+    return -mag_at
+
+
+def bandwidth_3db(freqs: np.ndarray, h: np.ndarray) -> float:
+    """-3 dB bandwidth relative to the DC gain."""
+    mag = db20(np.asarray(h))
+    return _interp_log_freq(np.asarray(freqs), mag, mag[0] - 3.0)
+
+
+def gain_at(freqs: np.ndarray, h: np.ndarray, freq: float) -> float:
+    """|H| in dB at ``freq`` (log-frequency interpolation)."""
+    freqs = np.asarray(freqs)
+    return float(np.interp(np.log10(freq), np.log10(freqs), db20(np.asarray(h))))
+
+
+def peaking_db(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Peak gain above the DC gain, in dB (0 for monotone roll-off)."""
+    mag = db20(np.asarray(h))
+    return float(max(0.0, np.max(mag) - mag[0]))
+
+
+def peak_frequency(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Frequency of the gain peak."""
+    mag = db20(np.asarray(h))
+    return float(np.asarray(freqs)[int(np.argmax(mag))])

@@ -1,0 +1,97 @@
+"""Baseline optimizers: budget discipline and basic optimization power."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BOwEI,
+    DifferentialEvolution,
+    GASPAD,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+from repro.problems import ConstrainedSphere, Sphere
+
+
+ALL_BASELINES = [
+    (RandomSearch, {}),
+    (DifferentialEvolution, {"pop_size": 10}),
+    (SimulatedAnnealing, {}),
+    (BOwEI, {"n_init": 8, "pool_size": 128, "local_points": 32}),
+    (GASPAD, {"n_init": 8, "pop_size": 8}),
+]
+
+
+@pytest.mark.parametrize("cls,kwargs", ALL_BASELINES)
+def test_budget_respected(cls, kwargs):
+    history = cls(Sphere(3), 22, seed=0, **kwargs).run()
+    assert history.n_evals == 22
+
+
+@pytest.mark.parametrize("cls,kwargs", ALL_BASELINES)
+def test_reproducible_with_seed(cls, kwargs):
+    h1 = cls(Sphere(2), 15, seed=5, **kwargs).run()
+    h2 = cls(Sphere(2), 15, seed=5, **kwargs).run()
+    np.testing.assert_allclose(h1.X, h2.X)
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (DifferentialEvolution, {"pop_size": 10}),
+    (SimulatedAnnealing, {}),
+    (BOwEI, {"n_init": 10, "pool_size": 256, "local_points": 64}),
+    (GASPAD, {"n_init": 10, "pop_size": 10}),
+])
+def test_improves_over_initial_samples(cls, kwargs):
+    problem = Sphere(3)
+    history = cls(problem, 60, seed=1, **kwargs).run()
+    first10 = history.F[:10, 0].min()
+    overall = history.F[:, 0].min()
+    assert overall <= first10
+
+
+def test_de_beats_random_given_generations():
+    problem = Sphere(4)
+    de = DifferentialEvolution(problem, 300, seed=3, pop_size=15).run()
+    rng = np.random.default_rng(3)
+    random_best = problem.evaluate_batch(problem.space.sample(rng, 300))[:, 0].min()
+    assert de.F[:, 0].min() < random_best
+
+
+def test_bo_wei_handles_constraints():
+    problem = ConstrainedSphere(2)
+    history = BOwEI(problem, 30, seed=2, n_init=10, pool_size=256,
+                    local_points=64).run()
+    assert history.any_feasible
+
+
+def test_gaspad_handles_constraints():
+    problem = ConstrainedSphere(2)
+    history = GASPAD(problem, 30, seed=2, n_init=10, pop_size=8).run()
+    assert history.any_feasible
+
+
+def test_sa_warm_start_used():
+    problem = Sphere(3)
+    x0 = np.array([1.0, -2.0, 0.5])
+    history = SimulatedAnnealing(problem, 10, seed=4, x0=x0).run()
+    np.testing.assert_allclose(history.X[0], x0)
+
+
+def test_sa_invalid_cooling():
+    with pytest.raises(ValueError):
+        SimulatedAnnealing(Sphere(2), 10, cooling=1.5)
+
+
+def test_de_needs_minimum_population():
+    with pytest.raises(ValueError):
+        DifferentialEvolution(Sphere(2), 10, pop_size=3)
+
+
+def test_modeling_time_tracked_by_surrogate_methods():
+    problem = Sphere(2)
+    bo = BOwEI(problem, 16, seed=6, n_init=8, pool_size=64, local_points=16).run()
+    assert bo.modeling_time > 0
+    gaspad = GASPAD(problem, 16, seed=6, n_init=8, pop_size=6).run()
+    assert gaspad.modeling_time > 0
+    de = DifferentialEvolution(problem, 16, seed=6, pop_size=8).run()
+    assert de.modeling_time == 0.0

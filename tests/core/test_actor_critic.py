@@ -1,0 +1,134 @@
+"""Critic and actor networks: learning behaviour and Eq. 3/5 mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Actor, Critic, generate_pseudo_samples
+
+
+def quadratic_data(n=60, d=2, seed=0):
+    """Archive of a quadratic bowl with one linear 'constraint' output."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(n, d))
+    f0 = np.sum((X - 0.5) ** 2, axis=1)
+    f1 = X[:, 0] - 0.6
+    return X, np.column_stack([f0, f1])
+
+
+class TestCritic:
+    def test_fit_reduces_loss_and_predicts(self):
+        X, Y = quadratic_data()
+        rng = np.random.default_rng(1)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=2000)
+        critic = Critic(2, 2, epochs=40, rng=rng)
+        critic.fit(inputs, targets)
+        rmse = critic.validation_rmse(inputs, targets)
+        assert rmse < 0.1
+
+    def test_prediction_shape_and_untrained_guard(self):
+        critic = Critic(3, 2, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            critic.predict(np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_input_dimension_validated(self):
+        critic = Critic(3, 1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            critic.fit(np.zeros((4, 5)), np.zeros((4, 1)))
+
+    def test_forward_tensor_matches_predict(self):
+        from repro.nn import Tensor
+
+        X, Y = quadratic_data(n=30)
+        rng = np.random.default_rng(2)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=500)
+        critic = Critic(2, 2, epochs=10, rng=rng)
+        critic.fit(inputs, targets)
+        x = np.random.default_rng(3).uniform(size=(5, 2))
+        dx = np.zeros((5, 2))
+        via_predict = critic.predict(x, dx)
+        via_tensor = critic.forward_tensor(Tensor(np.concatenate([x, dx], axis=1))).data
+        np.testing.assert_allclose(via_predict, via_tensor, atol=1e-10)
+
+    def test_pseudo_samples_improve_displaced_prediction(self):
+        """The paper's claim: the 2d critic predicts f(x + dx) better than a
+        d-input net evaluated at x (which cannot see the displacement)."""
+        X, Y = quadratic_data(n=50, seed=4)
+        rng = np.random.default_rng(4)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=2500)
+        critic = Critic(2, 2, epochs=40, rng=rng)
+        critic.fit(inputs, targets)
+        # Evaluate on fresh anchor/displacement pairs.
+        test_rng = np.random.default_rng(99)
+        anchors = test_rng.uniform(0.2, 0.8, size=(50, 2))
+        moves = test_rng.uniform(-0.2, 0.2, size=(50, 2))
+        moved = np.clip(anchors + moves, 0, 1)
+        truth = np.column_stack([np.sum((moved - 0.5) ** 2, axis=1), moved[:, 0] - 0.6])
+        prediction = critic.predict(anchors, moves)
+        rmse_2d = np.sqrt(np.mean((prediction - truth) ** 2))
+        assert rmse_2d < 0.15
+
+
+class TestActor:
+    def test_actor_moves_toward_critic_minimum(self):
+        """With a critic that rewards moving to the center, trained actor
+        proposals should point toward the center."""
+        X, Y = quadratic_data(n=80, seed=5)
+        rng = np.random.default_rng(5)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=4000)
+        critic = Critic(2, 2, epochs=50, rng=rng)
+        critic.fit(inputs, targets)
+
+        actor = Actor(2, epochs=80, rng=rng)
+        anchors = np.array([[0.1, 0.1], [0.9, 0.9], [0.1, 0.9], [0.85, 0.2]])
+        actor.fit(critic, anchors, np.zeros(2), np.ones(2),
+                  w0=1.0, weights=np.array([0.0001]))
+        moves = actor.propose(anchors)
+        moved = anchors + moves
+        before = np.linalg.norm(anchors - 0.5, axis=1)
+        after = np.linalg.norm(moved - 0.5, axis=1)
+        assert np.mean(after) < np.mean(before)
+
+    def test_boundary_penalty_keeps_proposals_inside(self):
+        X, Y = quadratic_data(n=40, seed=6)
+        rng = np.random.default_rng(6)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=1500)
+        critic = Critic(2, 2, epochs=20, rng=rng)
+        critic.fit(inputs, targets)
+
+        actor = Actor(2, epochs=60, rng=rng)
+        lb = np.array([0.4, 0.4])
+        ub = np.array([0.6, 0.6])
+        anchors = np.array([[0.45, 0.55], [0.55, 0.45], [0.5, 0.5]])
+        actor.fit(critic, anchors, lb, ub, w0=1.0, weights=np.array([1.0]), lam=100.0)
+        moved = anchors + actor.propose(anchors)
+        assert np.all(moved > lb - 0.05)
+        assert np.all(moved < ub + 0.05)
+
+    def test_actor_training_does_not_modify_critic(self):
+        X, Y = quadratic_data(n=30, seed=7)
+        rng = np.random.default_rng(7)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=900)
+        critic = Critic(2, 2, epochs=10, rng=rng)
+        critic.fit(inputs, targets)
+        before = critic.net.state_dict()
+        actor = Actor(2, epochs=20, rng=rng)
+        actor.fit(critic, X[:5], np.zeros(2), np.ones(2),
+                  w0=1.0, weights=np.array([1.0]))
+        after = critic.net.state_dict()
+        for b, a in zip(before, after):
+            np.testing.assert_array_equal(b, a)
+        # and critic parameters are trainable again afterwards
+        assert all(p.requires_grad for p in critic.net.parameters())
+
+    def test_step_scale_tracks_region(self):
+        rng = np.random.default_rng(8)
+        actor = Actor(3, epochs=1, rng=rng)
+        X, Y = quadratic_data(n=20, d=3, seed=8)
+        inputs, targets = generate_pseudo_samples(X, Y, rng=rng, max_pairs=300)
+        critic = Critic(3, 2, epochs=2, rng=rng)
+        critic.fit(inputs, targets)
+        lb = np.array([0.2, 0.2, 0.2])
+        ub = np.array([0.4, 0.8, 0.2 + 1e-9])
+        actor.fit(critic, X[:4], lb, ub, w0=1.0, weights=np.array([1.0]))
+        np.testing.assert_allclose(actor.step_scale[:2], [0.2, 0.6], atol=1e-9)
+        assert actor.step_scale[2] >= 1e-6  # floored, never zero

@@ -1,0 +1,111 @@
+"""DNN-Opt end-to-end behaviour (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DNNOpt
+from repro.problems import ConstrainedSphere, PressureVessel, Sphere
+
+
+def fast_dnnopt(problem, budget, seed=0, **kw):
+    """Small networks / few epochs so tests stay quick."""
+    defaults = dict(n_init=10, n_elite=6, critic_epochs=8, actor_epochs=10,
+                    critic_hidden=(32, 32), actor_hidden=(32, 32), max_pseudo=1500)
+    defaults.update(kw)
+    return DNNOpt(problem, budget, seed, **defaults)
+
+
+def test_respects_budget_exactly():
+    history = fast_dnnopt(Sphere(3), 25, seed=1).run()
+    assert history.n_evals == 25
+
+
+def test_beats_random_search_on_sphere():
+    problem = Sphere(4)
+    history = fast_dnnopt(problem, 50, seed=2).run()
+    rng = np.random.default_rng(2)
+    random_best = problem.evaluate_batch(problem.space.sample(rng, 50))[:, 0].min()
+    assert history.F[:, 0].min() < random_best
+
+
+def test_finds_feasible_on_constrained_problem():
+    history = fast_dnnopt(ConstrainedSphere(3), 40, seed=3).run()
+    assert history.any_feasible
+    assert history.evals_to_first_feasible is not None
+
+
+def test_stop_when_feasible_halts_early():
+    opt = fast_dnnopt(ConstrainedSphere(2), 60, seed=4, stop_when_feasible=True)
+    history = opt.run()
+    assert history.any_feasible
+    assert history.n_evals == history.evals_to_first_feasible
+
+
+def test_integer_variables_stay_integral():
+    history = fast_dnnopt(PressureVessel(), 25, seed=5).run()
+    X = history.X
+    np.testing.assert_allclose(X[:, 0], np.round(X[:, 0]))
+    np.testing.assert_allclose(X[:, 1], np.round(X[:, 1]))
+
+
+def test_no_duplicate_queries():
+    history = fast_dnnopt(Sphere(2), 35, seed=6).run()
+    X = history.X
+    distances = np.linalg.norm(X[:, None, :] - X[None, :, :], axis=2)
+    np.fill_diagonal(distances, np.inf)
+    assert distances.min() > 1e-12
+
+
+def test_initial_designs_are_simulated_first():
+    problem = Sphere(3)
+    seeds = np.array([[0.1, 0.2, 0.3], [1.0, 1.0, 1.0]])
+    history = fast_dnnopt(problem, 20, seed=7, initial_designs=seeds).run()
+    np.testing.assert_allclose(history.X[0], seeds[0])
+    np.testing.assert_allclose(history.X[1], seeds[1])
+
+
+def test_seed_reproducibility():
+    h1 = fast_dnnopt(Sphere(3), 20, seed=11).run()
+    h2 = fast_dnnopt(Sphere(3), 20, seed=11).run()
+    np.testing.assert_allclose(h1.X, h2.X)
+    h3 = fast_dnnopt(Sphere(3), 20, seed=12).run()
+    assert not np.allclose(h1.X, h3.X)
+
+
+def test_modeling_time_recorded():
+    history = fast_dnnopt(Sphere(2), 15, seed=8).run()
+    assert history.modeling_time > 0.0
+
+
+def test_pseudo_sample_ablation_switch_runs():
+    history = fast_dnnopt(Sphere(2), 18, seed=9, use_pseudo_samples=False).run()
+    assert history.n_evals == 18
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        DNNOpt(Sphere(2), 10, n_elite=1)
+    with pytest.raises(ValueError):
+        DNNOpt(Sphere(2), 10, n_init=1)
+    with pytest.raises(ValueError):
+        DNNOpt(Sphere(2), 0)
+
+
+def test_budget_smaller_than_ninit():
+    history = fast_dnnopt(Sphere(2), 5, seed=10).run()
+    assert history.n_evals == 5
+
+
+def test_history_summary_fields():
+    history = fast_dnnopt(ConstrainedSphere(2), 20, seed=13).run()
+    summary = history.summary()
+    assert summary["optimizer"] == "DNN-Opt"
+    assert summary["n_evals"] == 20
+    assert "best_fom" in summary and "modeling_time_s" in summary
+
+
+def test_fom_curve_monotone_nonincreasing():
+    history = fast_dnnopt(Sphere(3), 25, seed=14).run()
+    curve = history.fom_curve()
+    assert len(curve) == 25
+    assert np.all(np.diff(curve) <= 1e-12)

@@ -1,0 +1,75 @@
+"""OptimizationHistory bookkeeping edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import OptimizationHistory, Optimizer
+from repro.problems import ConstrainedSphere, Sphere
+
+
+def test_empty_history_guards():
+    history = OptimizationHistory(Sphere(2), "x", 0)
+    assert history.n_evals == 0
+    assert not history.any_feasible
+    assert history.evals_to_first_feasible is None
+    assert history.best_feasible_index is None
+    assert len(history.fom_curve()) == 0
+    with pytest.raises(ValueError):
+        _ = history.best_index
+
+
+def test_append_computes_fom_and_feasibility():
+    problem = ConstrainedSphere(2)
+    history = OptimizationHistory(problem, "x", 0)
+    feasible_x = np.array([1.0, 1.0])
+    history.append(feasible_x, problem.evaluate(feasible_x))
+    infeasible_x = np.array([-1.0, -1.0])
+    history.append(infeasible_x, problem.evaluate(infeasible_x))
+    assert history.feasible.tolist() == [True, False]
+    assert history.evals_to_first_feasible == 1
+    assert history.best_index == 0
+
+
+def test_best_feasible_prefers_objective_over_fom():
+    problem = ConstrainedSphere(2)
+    history = OptimizationHistory(problem, "x", 0)
+    # Two feasible designs; the second has the smaller objective.
+    history.append(np.array([2.0, 2.0]), problem.evaluate(np.array([2.0, 2.0])))
+    history.append(np.array([0.6, 0.6]), problem.evaluate(np.array([0.6, 0.6])))
+    assert history.best_feasible_index == 1
+    assert history.best_feasible_objective == pytest.approx(2 * 0.6**2)
+
+
+def test_optimizer_budget_exhausted_signal():
+    class Greedy(Optimizer):
+        name = "greedy"
+
+        def _run(self):
+            while True:  # relies on the base class stopping it
+                self.evaluate(self.problem.space.sample(self.rng, 1)[0])
+
+    history = Greedy(Sphere(2), 7, seed=0).run()
+    assert history.n_evals == 7
+
+
+def test_optimizer_rejects_bad_budget():
+    with pytest.raises(ValueError):
+        class _X(Optimizer):
+            name = "x"
+
+            def _run(self):
+                pass
+
+        _X(Sphere(2), 0)
+
+
+def test_simulation_time_accumulates():
+    class OneShot(Optimizer):
+        name = "one"
+
+        def _run(self):
+            self.evaluate(self.problem.space.sample(self.rng, 1)[0])
+
+    history = OneShot(Sphere(2), 3, seed=0).run()
+    assert history.simulation_time >= 0.0
+    assert history.n_evals == 1

@@ -1,0 +1,106 @@
+"""Experiment harness: runner, statistics, curves, table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.core import DNNOpt
+from repro.experiments import (
+    algorithm_stats,
+    ascii_plot,
+    compare_algorithms,
+    curve_table,
+    mean_fom_curve,
+    render_table,
+    run_parameter_table,
+    run_trials,
+)
+from repro.circuits import FoldedCascodeOTA, StrongArmLatch
+from repro.problems import ConstrainedSphere, Sphere
+
+
+def test_run_trials_seeds_differ():
+    histories = run_trials(lambda p, b, s: RandomSearch(p, b, s),
+                           lambda: Sphere(2), budget=10, n_trials=3, base_seed=7)
+    assert len(histories) == 3
+    assert not np.allclose(histories[0].X, histories[1].X)
+    assert [h.seed for h in histories] == [7, 8, 9]
+
+
+def test_compare_algorithms_budget_override():
+    results = compare_algorithms(
+        {"A": lambda p, b, s: RandomSearch(p, b, s),
+         "B": lambda p, b, s: RandomSearch(p, b, s)},
+        lambda: Sphere(2), budget=10, n_trials=2, budgets={"B": 25})
+    assert results["A"][0].n_evals == 10
+    assert results["B"][0].n_evals == 25
+
+
+def test_algorithm_stats_success_accounting():
+    histories = run_trials(lambda p, b, s: RandomSearch(p, b, s),
+                           lambda: ConstrainedSphere(2), budget=40, n_trials=3)
+    stats = algorithm_stats("Random", histories)
+    assert stats.n_trials == 3
+    assert 0 <= stats.n_success <= 3
+    assert "/" in stats.success_rate
+    if stats.n_success:
+        assert stats.min_objective <= stats.mean_objective <= stats.max_objective
+    else:
+        assert stats.sims_label.startswith(">")
+
+
+def test_algorithm_stats_empty_raises():
+    with pytest.raises(ValueError):
+        algorithm_stats("x", [])
+
+
+def test_mean_fom_curve_padding():
+    h_long = RandomSearch(Sphere(2), 20, seed=0).run()
+    h_short = RandomSearch(Sphere(2), 10, seed=1).run()
+    curve = mean_fom_curve([h_long, h_short], length=20)
+    assert len(curve) == 20
+    assert np.all(np.diff(curve) <= 1e-12)  # mean of non-increasing curves
+
+
+def test_curve_table_strides():
+    curves = {"a": np.linspace(1, 0, 50), "b": np.linspace(2, 1, 50)}
+    rows = curve_table(curves, stride=10)
+    assert rows[0][0] == 1
+    assert len(rows) == 5
+    assert len(rows[0]) == 3
+
+
+def test_ascii_plot_renders_legend_and_axes():
+    curves = {"DNN-Opt": np.linspace(1.0, 0.1, 30),
+              "DE": np.linspace(1.2, 0.5, 30)}
+    text = ascii_plot(curves, title="FoM")
+    assert "FoM" in text
+    assert "*=DNN-Opt" in text
+    assert "30 simulations" in text
+
+
+def test_render_table_alignment_and_na():
+    text = render_table(["A", "Bee"], [("x", 1.0), ("yy", None)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "NA" in text
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # perfectly rectangular
+
+
+def test_parameter_tables_match_paper_counts():
+    table1 = run_parameter_table(FoldedCascodeOTA())
+    assert table1.count("\n") >= 22  # 20 parameter rows + frame
+    assert "MCAP" in table1 and "Cf" in table1
+    table3 = run_parameter_table(StrongArmLatch())
+    assert "CL_finger" in table3
+
+
+def test_dnnopt_in_harness_smoke():
+    histories = run_trials(
+        lambda p, b, s: DNNOpt(p, b, s, n_init=8, n_elite=5, critic_epochs=5,
+                               actor_epochs=5, max_pseudo=500),
+        lambda: ConstrainedSphere(2), budget=15, n_trials=1)
+    stats = algorithm_stats("DNN-Opt", histories)
+    assert stats.budget == 15
+    assert stats.mean_modeling_time_s > 0

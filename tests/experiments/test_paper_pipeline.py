@@ -1,0 +1,75 @@
+"""The full Table II / Figure 3 pipeline on a cheap analytic circuit.
+
+Uses a synthetic :class:`SizingCircuit` (closed-form 'amplifier' equations)
+so the whole four-algorithm comparison, statistics and figure rendering run
+in seconds — validating the experiment plumbing independently of the SPICE
+benches.
+"""
+
+import numpy as np
+
+from repro.circuits.base import SizingCircuit
+from repro.experiments import (
+    ExperimentScale,
+    render_fom_figure,
+    render_stats_table,
+    run_building_block_comparison,
+)
+from repro.problems.base import Objective, Spec, Variable
+
+
+class ToyAmplifier(SizingCircuit):
+    """Closed-form two-variable 'amplifier': gain ~ w/l, power ~ w*l."""
+
+    name = "toy_amplifier"
+
+    def variables(self):
+        return [Variable("w", 1.0, 100.0, unit="um"),
+                Variable("l", 0.2, 2.0, unit="um")]
+
+    def objective(self):
+        return Objective("power_w", scale=1e-3, unit="W")
+
+    def specs(self):
+        return [Spec("gain_db", "min", 30.0, unit="dB"),
+                Spec("bw_hz", "min", 1e6, unit="Hz")]
+
+    def measure(self, params):
+        w, l = params["w"], params["l"]
+        gain = 20.0 * np.log10(10.0 * w / l)
+        bandwidth = 5e7 / (w * l)
+        power = 1e-5 * w * l
+        return {"gain_db": gain, "bw_hz": bandwidth, "power_w": power}
+
+
+def test_full_comparison_pipeline():
+    scale = ExperimentScale(n_trials=2, budget=15, de_budget=30,
+                            industrial_budget=10, sa_budget=20)
+    result = run_building_block_comparison(ToyAmplifier, scale=scale)
+
+    stats = result["stats"]
+    assert set(stats) == {"DE", "BO-wEI", "GASPAD", "DNN-Opt"}
+    for name, stat in stats.items():
+        assert stat.n_trials == 2
+        expected_budget = scale.de_budget if name == "DE" else scale.budget
+        assert stat.budget == expected_budget
+
+    curves = result["curves"]
+    for curve in curves.values():
+        assert len(curve) == scale.budget
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    table = render_stats_table(stats, objective_label="power (mW)",
+                               unit_scale=1e-3, title="toy Table II")
+    assert "success rate" in table and "DNN-Opt" in table
+    figure = render_fom_figure(curves, "toy Figure 3")
+    assert "toy Figure 3" in figure
+
+
+def test_toy_problem_is_solvable():
+    problem = ToyAmplifier().problem()
+    # gain >= 30 dB needs w/l >= ~3.16; bw >= 1e6 needs w*l <= 50.
+    row = problem.evaluate(np.array([20.0, 1.0]))
+    assert problem.is_feasible(row[None, :])[0]
+    row_bad = problem.evaluate(np.array([1.0, 2.0]))
+    assert not problem.is_feasible(row_bad[None, :])[0]

@@ -1,0 +1,119 @@
+"""Gaussian-process substrate: kernels, regression, acquisitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gp import (
+    GaussianProcess,
+    Matern52,
+    RBF,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_feasibility,
+    weighted_expected_improvement,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_diagonal_is_amplitude_squared(self, kernel_cls):
+        kernel = kernel_cls(3, amplitude=2.0)
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = kernel(X, X)
+        np.testing.assert_allclose(np.diag(K), 4.0, rtol=1e-9)
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_symmetric_and_psd(self, kernel_cls):
+        kernel = kernel_cls(2)
+        X = np.random.default_rng(1).normal(size=(8, 2))
+        K = kernel(X, X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        eigvals = np.linalg.eigvalsh(K + 1e-10 * np.eye(8))
+        assert np.all(eigvals > 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.1, 3.0), st.floats(0.1, 3.0))
+    def test_kernel_decays_with_distance(self, d1, d2):
+        kernel = RBF(1, lengthscale=1.0)
+        near, far = sorted([d1, d2])
+        k_near = kernel(np.array([[0.0]]), np.array([[near]]))[0, 0]
+        k_far = kernel(np.array([[0.0]]), np.array([[far]]))[0, 0]
+        assert k_near >= k_far - 1e-12
+
+    def test_param_roundtrip(self):
+        kernel = Matern52(3)
+        theta = kernel.get_params() + 0.3
+        kernel.set_params(theta)
+        np.testing.assert_allclose(kernel.get_params(), theta)
+        with pytest.raises(ValueError):
+            kernel.set_params(np.zeros(2))
+
+
+class TestGP:
+    def test_interpolates_training_data(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(15, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        gp = GaussianProcess(dim=2, noise=1e-7, optimize_noise=False)
+        gp.fit(X, y, restarts=1, rng=rng)
+        mean, std = gp.predict(X)
+        np.testing.assert_allclose(mean, y, atol=1e-2)
+        assert np.all(std < 0.15)
+
+    def test_uncertainty_grows_away_from_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0.0, 0.3, size=(10, 1))
+        y = X[:, 0] * 2.0
+        gp = GaussianProcess(dim=1).fit(X, y, rng=rng)
+        _, std_near = gp.predict(np.array([[0.15]]))
+        _, std_far = gp.predict(np.array([[0.95]]))
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess(dim=1).predict(np.zeros((1, 1)))
+
+    def test_log_marginal_likelihood_improves_with_fit(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(size=(20, 1))
+        y = np.sin(6 * X[:, 0])
+        gp_fitted = GaussianProcess(dim=1).fit(X, y, restarts=2, rng=rng)
+        gp_fixed = GaussianProcess(dim=1)
+        gp_fixed.fit(X, y, restarts=0, max_opt_iter=0, rng=rng)
+        assert gp_fitted.log_marginal_likelihood() >= gp_fixed.log_marginal_likelihood() - 1e-6
+
+    def test_requires_consistent_lengths(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(dim=1).fit(np.zeros((3, 1)), np.zeros(4))
+
+
+class TestAcquisitions:
+    def test_ei_zero_when_certainly_worse(self):
+        ei = expected_improvement(np.array([5.0]), np.array([1e-9]), best=0.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ei_approaches_improvement_when_certain(self):
+        ei = expected_improvement(np.array([-2.0]), np.array([1e-9]), best=0.0)
+        assert ei[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_wei_blend_limits(self):
+        mean = np.array([-1.0, 0.5])
+        std = np.array([0.5, 0.5])
+        exploit = weighted_expected_improvement(mean, std, 0.0, w=1.0)
+        explore = weighted_expected_improvement(mean, std, 0.0, w=0.0)
+        half = weighted_expected_improvement(mean, std, 0.0, w=0.5)
+        np.testing.assert_allclose(half, 0.5 * (exploit + explore), rtol=1e-12)
+        with pytest.raises(ValueError):
+            weighted_expected_improvement(mean, std, 0.0, w=1.5)
+
+    def test_pof_limits(self):
+        assert probability_of_feasibility(np.array([-10.0]), np.array([0.1]))[0] > 0.999
+        assert probability_of_feasibility(np.array([10.0]), np.array([0.1]))[0] < 0.001
+        assert probability_of_feasibility(np.array([0.0]), np.array([1.0]))[0] == pytest.approx(0.5)
+
+    def test_lcb_orders_by_optimism(self):
+        mean = np.array([1.0, 1.0])
+        std = np.array([0.1, 2.0])
+        lcb = lower_confidence_bound(mean, std, beta=2.0)
+        assert lcb[1] < lcb[0]

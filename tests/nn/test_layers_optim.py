@@ -1,0 +1,120 @@
+"""MLP training sanity: layers, optimizers, losses, scalers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Linear,
+    MinMaxScaler,
+    SGD,
+    Sequential,
+    StandardScaler,
+    Tanh,
+    Tensor,
+    huber_loss,
+    mae_loss,
+    mse_loss,
+)
+
+
+def test_linear_shapes_and_param_count():
+    rng = np.random.default_rng(0)
+    layer = Linear(5, 3, rng=rng)
+    out = layer(Tensor(np.ones((7, 5))))
+    assert out.shape == (7, 3)
+    assert layer.weight.shape == (5, 3)
+    assert sum(p.size for p in layer.parameters()) == 5 * 3 + 3
+
+
+def test_mlp_parameter_collection():
+    rng = np.random.default_rng(0)
+    net = MLP(4, 2, (8, 8), rng=rng)
+    # 3 Linear layers x (weight + bias)
+    assert len(net.parameters()) == 6
+    assert net.num_parameters() == (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2)
+
+
+def test_mlp_rejects_unknown_activation():
+    with pytest.raises(ValueError):
+        MLP(2, 1, activation="gelu", rng=np.random.default_rng(0))
+
+
+def test_state_dict_roundtrip():
+    rng = np.random.default_rng(0)
+    net = MLP(3, 2, (4,), rng=rng)
+    state = net.state_dict()
+    x = np.ones((2, 3))
+    before = net.predict(x)
+    for p in net.parameters():
+        p.data = p.data + 1.0
+    assert not np.allclose(net.predict(x), before)
+    net.load_state_dict(state)
+    np.testing.assert_allclose(net.predict(x), before)
+
+
+def test_mlp_fits_linear_function_with_adam():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1, 1, size=(256, 3))
+    W_true = np.array([[1.0], [-2.0], [0.5]])
+    y = X @ W_true + 0.3
+    net = MLP(3, 1, (16,), rng=rng)
+    optimizer = Adam(net.parameters(), lr=1e-2)
+    for _ in range(500):
+        prediction = net(Tensor(X))
+        loss = mse_loss(prediction, Tensor(y))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert loss.item() < 1e-3
+
+
+def test_sgd_descends_quadratic():
+    w = Tensor([5.0], requires_grad=True)
+    optimizer = SGD([w], lr=0.1, momentum=0.5)
+    for _ in range(100):
+        loss = (w * w).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert abs(w.data[0]) < 1e-3
+
+
+def test_losses_basic_values():
+    p = Tensor([1.0, 2.0, 3.0])
+    t = Tensor([1.0, 2.0, 5.0])
+    assert mse_loss(p, t).item() == pytest.approx(4.0 / 3.0)
+    assert mae_loss(p, t).item() == pytest.approx(2.0 / 3.0)
+    # huber: |e|=2, delta=1 -> 0.5 + 1*(2-1) = 1.5 on one element
+    assert huber_loss(p, t, delta=1.0).item() == pytest.approx(1.5 / 3.0)
+
+
+def test_standard_scaler_roundtrip_and_degenerate():
+    data = np.array([[1.0, 5.0], [3.0, 5.0], [5.0, 5.0]])
+    scaler = StandardScaler().fit(data)
+    out = scaler.transform(data)
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+    np.testing.assert_allclose(out[:, 1], 0.0)  # constant column -> zeros
+    np.testing.assert_allclose(scaler.inverse_transform(out), data)
+
+
+def test_minmax_scaler_unit_range():
+    rng = np.random.default_rng(2)
+    data = rng.normal(size=(20, 3))
+    scaler = MinMaxScaler().fit(data)
+    out = scaler.transform(data)
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    np.testing.assert_allclose(scaler.inverse_transform(out), data, atol=1e-12)
+
+
+def test_scaler_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(np.ones((2, 2)))
+
+
+def test_sequential_composes():
+    rng = np.random.default_rng(3)
+    net = Sequential(Linear(2, 4, rng=rng), Tanh(), Linear(4, 1, rng=rng))
+    out = net(Tensor(np.zeros((5, 2))))
+    assert out.shape == (5, 1)

@@ -1,0 +1,192 @@
+"""Design space, specs, problem base and the synthetic suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems import (
+    SYNTHETIC_SUITE,
+    Ackley,
+    Branin,
+    ConstrainedSphere,
+    DesignSpace,
+    G06,
+    Hartmann6,
+    Objective,
+    OptimizationProblem,
+    PressureVessel,
+    Rastrigin,
+    Rosenbrock,
+    Spec,
+    Sphere,
+    Variable,
+)
+from repro.problems.base import EvaluationFailure
+
+
+def small_space():
+    return DesignSpace([
+        Variable("w", 1.0, 10.0, unit="um"),
+        Variable("n", 1, 8, kind="integer"),
+    ])
+
+
+class TestDesignSpace:
+    def test_normalize_roundtrip(self):
+        space = small_space()
+        x = np.array([4.0, 3.0])
+        np.testing.assert_allclose(space.denormalize(space.normalize(x)), x)
+
+    def test_sample_within_bounds_and_integers(self):
+        space = small_space()
+        rng = np.random.default_rng(0)
+        X = space.sample(rng, 50)
+        assert np.all(X[:, 0] >= 1.0) and np.all(X[:, 0] <= 10.0)
+        np.testing.assert_allclose(X[:, 1], np.round(X[:, 1]))
+
+    def test_lhs_stratification(self):
+        space = DesignSpace([Variable("x", 0.0, 1.0)])
+        rng = np.random.default_rng(1)
+        X = space.sample_lhs(rng, 10).ravel()
+        # exactly one sample per decile
+        bins = np.floor(X * 10).astype(int)
+        assert sorted(bins) == list(range(10))
+
+    def test_round_clips(self):
+        space = small_space()
+        out = space.round(np.array([100.0, -5.0]))
+        np.testing.assert_allclose(out, [10.0, 1.0])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([Variable("a", 0, 1), Variable("a", 0, 1)])
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", 2.0, 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=2))
+    def test_denormalize_stays_in_bounds(self, u):
+        space = small_space()
+        x = space.denormalize(np.array(u))
+        assert np.all(x >= space.lower - 1e-9)
+        assert np.all(x <= space.upper + 1e-9)
+
+
+class TestSpec:
+    def test_min_spec_violation_sign(self):
+        spec = Spec("gain", "min", 60.0)
+        assert spec.violation(70.0) < 0
+        assert spec.violation(50.0) > 0
+        assert spec.satisfied(60.0)
+
+    def test_max_spec_violation_sign(self):
+        spec = Spec("power", "max", 1e-3)
+        assert spec.violation(0.5e-3) < 0
+        assert spec.violation(2e-3) > 0
+
+    def test_violation_is_normalized(self):
+        spec = Spec("delay", "max", 10e-9)
+        assert spec.violation(20e-9) == pytest.approx(1.0)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Spec("x", "equal", 0.0)
+
+    def test_describe(self):
+        assert Spec("gain", "min", 60.0, unit="dB").describe() == "gain >= 60 dB"
+
+
+class _Toy(OptimizationProblem):
+    def __init__(self, fail=False):
+        self.fail = fail
+        space = DesignSpace([Variable("x", -1.0, 1.0)])
+        super().__init__(space, Objective("obj", scale=2.0),
+                         [Spec("c", "max", 0.5)])
+
+    def _evaluate(self, x):
+        if self.fail:
+            raise EvaluationFailure("boom")
+        return [float(x[0] ** 2), float(x[0])]
+
+
+class TestProblemBase:
+    def test_evaluate_order_and_normalize(self):
+        problem = _Toy()
+        row = problem.evaluate(np.array([0.6]))
+        np.testing.assert_allclose(row, [0.36, 0.6])
+        normalized = problem.normalize(row)
+        assert normalized[0] == pytest.approx(0.18)
+        assert normalized[1] == pytest.approx((0.6 - 0.5) / 0.5)
+
+    def test_normalize_preserves_ndim(self):
+        problem = _Toy()
+        assert problem.normalize(np.array([1.0, 0.0])).ndim == 1
+        assert problem.normalize(np.ones((3, 2))).ndim == 2
+
+    def test_failure_returns_penalty_vector(self):
+        problem = _Toy(fail=True)
+        row = problem.evaluate(np.array([0.0]))
+        assert row[0] == pytest.approx(20.0)  # 10x objective scale
+        assert not problem.is_feasible(row)[0]
+
+    def test_nan_result_becomes_failure(self):
+        class NaNProblem(_Toy):
+            def _evaluate(self, x):
+                return [np.nan, 0.0]
+
+        row = NaNProblem().evaluate(np.array([0.0]))
+        assert np.all(np.isfinite(row))
+
+    def test_is_feasible_vector(self):
+        problem = _Toy()
+        F = problem.evaluate_batch(np.array([[0.1], [0.9]]))
+        np.testing.assert_array_equal(problem.is_feasible(F), [True, False])
+
+    def test_describe_mentions_constraints(self):
+        text = _Toy().describe()
+        assert "minimize obj" in text
+        assert "c <=" in text
+
+
+class TestSyntheticSuite:
+    @pytest.mark.parametrize("cls", list(SYNTHETIC_SUITE.values()))
+    def test_evaluates_and_shapes(self, cls):
+        problem = cls()
+        rng = np.random.default_rng(0)
+        X = problem.space.sample(rng, 4)
+        F = problem.evaluate_batch(X)
+        assert F.shape == (4, 1 + problem.num_constraints)
+        assert np.all(np.isfinite(F))
+
+    def test_known_optima(self):
+        assert Sphere(3).evaluate(np.zeros(3))[0] == pytest.approx(0.0)
+        assert Rosenbrock(3).evaluate(np.ones(3))[0] == pytest.approx(0.0)
+        assert Ackley(2).evaluate(np.zeros(2))[0] == pytest.approx(0.0, abs=1e-9)
+        assert Rastrigin(2).evaluate(np.zeros(2))[0] == pytest.approx(0.0, abs=1e-9)
+        assert Branin().evaluate(np.array([np.pi, 2.275]))[0] == pytest.approx(
+            Branin.optimum, abs=1e-4)
+        x_h = np.array([0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573])
+        assert Hartmann6().evaluate(x_h)[0] == pytest.approx(Hartmann6.optimum, abs=1e-3)
+
+    def test_g06_known_optimum_feasible(self):
+        problem = G06()
+        x_opt = np.array([14.095, 0.84296])
+        row = problem.evaluate(x_opt)
+        assert row[0] == pytest.approx(G06.optimum, rel=1e-3)
+        assert problem.is_feasible(row[None, :], tol=1e-3)[0]
+
+    def test_constrained_sphere_optimum(self):
+        problem = ConstrainedSphere(4)
+        x_opt = np.full(4, 0.5)
+        row = problem.evaluate(x_opt)
+        assert row[0] == pytest.approx(problem.optimum)
+        assert problem.is_feasible(row[None, :])[0]
+
+    def test_pressure_vessel_integer_dims(self):
+        problem = PressureVessel()
+        row = problem.evaluate(np.array([13.2, 7.7, 42.0, 176.0]))
+        # thickness variables are rounded before evaluation
+        row2 = problem.evaluate(np.array([13.0, 8.0, 42.0, 176.0]))
+        assert row[0] == pytest.approx(row2[0])

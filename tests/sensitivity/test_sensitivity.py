@@ -1,0 +1,99 @@
+"""Sensitivity analysis (Eq. 7) and problem reduction."""
+
+import numpy as np
+import pytest
+
+from repro.problems import DesignSpace, Objective, OptimizationProblem, Spec, Variable
+from repro.sensitivity import ReducedProblem, reduce_problem, sensitivity_analysis
+
+
+class LinearProblem(OptimizationProblem):
+    """f0 = 3 a + 0 b + 0.5 c ; constraint metric = 10 b."""
+
+    def __init__(self):
+        space = DesignSpace([Variable("a", 0.0, 1.0), Variable("b", 0.0, 1.0),
+                             Variable("c", 0.0, 1.0)])
+        super().__init__(space, Objective("obj", scale=1.0),
+                         [Spec("g", "max", 1.0)])
+
+    def _evaluate(self, x):
+        return [3.0 * x[0] + 0.5 * x[2], 10.0 * x[1]]
+
+
+def test_linear_sensitivities_exact():
+    problem = LinearProblem()
+    result = sensitivity_analysis(problem, np.array([0.5, 0.5, 0.5]))
+    # d(obj)/d(a) in normalized coords: 3.0 (range 1, scale 1)
+    np.testing.assert_allclose(result.matrix[0], [3.0, 0.0, 0.5], atol=1e-6)
+    # constraint g normalized by bound 1.0: d/d(b) = 10
+    np.testing.assert_allclose(result.matrix[1], [0.0, 10.0, 0.0], atol=1e-6)
+    assert result.n_evaluations == 1 + 2 * 3
+
+
+def test_critical_variables_threshold():
+    problem = LinearProblem()
+    result = sensitivity_analysis(problem, np.array([0.5, 0.5, 0.5]))
+    assert result.critical_variables(threshold=1.0) == ["a", "b"]
+    assert result.critical_variables(threshold=20.0, min_keep=1) == ["b"]
+
+
+def test_metric_restriction():
+    problem = LinearProblem()
+    result = sensitivity_analysis(problem, np.array([0.5, 0.5, 0.5]))
+    only_g = result.critical_variables(threshold=0.1, metrics=["g"])
+    assert only_g == ["b"]
+    with pytest.raises(KeyError):
+        result.variable_scores(metrics=["nope"])
+
+
+def test_ranking_sorted_descending():
+    problem = LinearProblem()
+    result = sensitivity_analysis(problem, np.array([0.5, 0.5, 0.5]))
+    ranking = result.ranking()
+    assert [name for name, _ in ranking] == ["b", "a", "c"]
+    scores = [s for _, s in ranking]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_nominal_at_bound_still_works():
+    problem = LinearProblem()
+    result = sensitivity_analysis(problem, np.array([0.0, 1.0, 0.5]))
+    assert np.all(np.isfinite(result.matrix))
+    assert result.matrix[1, 1] == pytest.approx(10.0, rel=1e-3)
+
+
+def test_reduced_problem_freezes_and_expands():
+    problem = LinearProblem()
+    nominal = np.array([0.3, 0.7, 0.9])
+    reduced = ReducedProblem(problem, ["b"], nominal)
+    assert reduced.dim == 1
+    row = reduced.evaluate(np.array([0.2]))
+    expected_obj = 3.0 * 0.3 + 0.5 * 0.9
+    assert row[0] == pytest.approx(expected_obj)
+    assert row[1] == pytest.approx(2.0)
+    np.testing.assert_allclose(reduced.expand(np.array([0.2])), [0.3, 0.2, 0.9])
+
+
+def test_reduce_problem_from_sensitivity():
+    problem = LinearProblem()
+    sens = sensitivity_analysis(problem, np.array([0.5, 0.5, 0.5]))
+    reduced = reduce_problem(problem, sens, threshold=1.0)
+    assert set(reduced.space.names) == {"a", "b"}
+    assert "reduced 2/3" in reduced.name
+
+
+def test_reduced_problem_validates_inputs():
+    problem = LinearProblem()
+    with pytest.raises(ValueError):
+        ReducedProblem(problem, [], np.zeros(3))
+    with pytest.raises(ValueError):
+        ReducedProblem(problem, ["zzz"], np.zeros(3))
+    with pytest.raises(ValueError):
+        ReducedProblem(problem, ["a"], np.zeros(2))
+
+
+def test_describe_contains_ranking():
+    problem = LinearProblem()
+    sens = sensitivity_analysis(problem, np.array([0.5, 0.5, 0.5]))
+    text = sens.describe(top=2)
+    assert "b" in text and "7 simulations" in text

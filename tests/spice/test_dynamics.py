@@ -1,0 +1,147 @@
+"""AC, transient and noise analyses against closed-form references."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    Pulse,
+    Sin,
+    ac_analysis,
+    noise_analysis,
+    operating_point,
+    transient,
+    waveform,
+)
+from repro.spice.devices.passives import BOLTZMANN, ROOM_TEMPERATURE
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    circuit = Circuit()
+    circuit.vsource("V1", "in", "0", 1.0, ac=1.0)
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", "0", c)
+    return circuit
+
+
+def test_rc_pole_location_and_rolloff():
+    circuit = rc_lowpass()
+    op = operating_point(circuit)
+    freqs = np.logspace(3, 8, 101)
+    ac = ac_analysis(circuit, op, freqs)
+    h = ac.v("out")
+    f_pole = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+    assert waveform.bandwidth_3db(freqs, h) == pytest.approx(f_pole, rel=0.02)
+    # -20 dB/decade well above the pole
+    g1 = waveform.gain_at(freqs, h, 1e7)
+    g2 = waveform.gain_at(freqs, h, 1e8)
+    assert g1 - g2 == pytest.approx(20.0, abs=0.5)
+
+
+def test_rlc_series_resonance():
+    circuit = Circuit()
+    circuit.vsource("V1", "in", "0", 0.0, ac=1.0)
+    circuit.resistor("R1", "in", "a", 10.0)
+    circuit.inductor("L1", "a", "b", 1e-6)
+    circuit.capacitor("C1", "b", "0", 1e-9)
+    op = operating_point(circuit)
+    f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+    freqs = np.logspace(np.log10(f0) - 1, np.log10(f0) + 1, 201)
+    ac = ac_analysis(circuit, op, freqs)
+    h = ac.v("b")
+    assert waveform.peak_frequency(freqs, h) == pytest.approx(f0, rel=0.05)
+    # Q = (1/R) sqrt(L/C) ~ 3.16 -> peaking ~ Q
+    peak_gain = 10 ** (waveform.db20(h).max() / 20.0)
+    assert peak_gain == pytest.approx(np.sqrt(1e-6 / 1e-9) / 10.0, rel=0.05)
+
+
+def test_rc_step_response_time_constant():
+    circuit = Circuit()
+    circuit.vsource("V1", "in", "0", Pulse(0, 1, delay=1e-7, rise=1e-10, width=20e-6))
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.capacitor("C1", "out", "0", 1e-9)
+    result = transient(circuit, 2e-8, 6e-6)
+    tau = 1e-6
+    for n_tau, expected in ((1, 1 - np.exp(-1)), (2, 1 - np.exp(-2)), (3, 1 - np.exp(-3))):
+        value = np.interp(1e-7 + n_tau * tau, result.t, result.v("out"))
+        assert value == pytest.approx(expected, abs=0.01)
+
+
+def test_transient_sin_amplitude_and_phase():
+    circuit = Circuit()
+    circuit.vsource("V1", "in", "0", Sin(0.0, 1.0, 1e6))
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.resistor("R2", "out", "0", 1e3)
+    result = transient(circuit, 5e-9, 3e-6)
+    out = result.v("out")
+    tail = out[result.t > 1e-6]
+    assert np.max(tail) == pytest.approx(0.5, abs=0.01)
+    assert np.min(tail) == pytest.approx(-0.5, abs=0.01)
+
+
+def test_lc_tank_oscillation_frequency():
+    """Undriven LC with an initial condition rings at f0 = 1/2pi sqrt(LC)."""
+    circuit = Circuit()
+    circuit.resistor("Rbig", "a", "0", 1e9)  # keeps DC matrix non-singular
+    circuit.inductor("L1", "a", "0", 1e-6)
+    circuit.capacitor("C1", "a", "0", 1e-9)
+    result = transient(circuit, 2e-9, 2e-6, uic=True, ics={"a": 1.0})
+    v = result.v("a")
+    rises = waveform.crossings(result.t, v, 0.0, "rise")
+    assert len(rises) > 4
+    period = np.mean(np.diff(rises))
+    f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+    assert 1.0 / period == pytest.approx(f0, rel=0.02)
+
+
+def test_transient_breakpoints_hit_exactly():
+    circuit = Circuit()
+    circuit.vsource("V1", "in", "0", Pulse(0, 1, delay=3.3e-7, rise=1e-9, width=2e-7))
+    circuit.resistor("R1", "in", "out", 100.0)
+    circuit.capacitor("C1", "out", "0", 1e-12)
+    result = transient(circuit, 5e-8, 1e-6)
+    # the stepper must land exactly on the pulse delay
+    assert np.min(np.abs(result.t - 3.3e-7)) < 1e-15
+
+
+def test_kt_over_c_noise():
+    """Total integrated noise of an RC is kT/C independent of R."""
+    for r in (1e2, 1e4):
+        circuit = rc_lowpass(r=r, c=1e-9)
+        op = operating_point(circuit)
+        freqs = np.logspace(0, 10, 161)
+        result = noise_analysis(circuit, op, freqs, "out")
+        expected = np.sqrt(BOLTZMANN * ROOM_TEMPERATURE / 1e-9)
+        assert result.output_rms() == pytest.approx(expected, rel=0.03)
+
+
+def test_resistor_noise_psd_value():
+    """Low-frequency output PSD of the RC equals 4kTR."""
+    circuit = rc_lowpass(r=1e3, c=1e-12)
+    op = operating_point(circuit)
+    freqs = np.array([10.0, 100.0])
+    result = noise_analysis(circuit, op, freqs, "out")
+    assert result.output_psd[0] == pytest.approx(
+        4 * BOLTZMANN * ROOM_TEMPERATURE * 1e3, rel=1e-3)
+
+
+def test_noise_input_referral_divides_by_gain():
+    circuit = Circuit()
+    circuit.vsource("V1", "in", "0", 0.0, ac=1.0)
+    circuit.resistor("RI", "in", "x", 1e3)
+    circuit.vcvs("E1", "out", "0", "x", "0", 10.0)
+    circuit.resistor("RO", "out", "0", 1e3)
+    circuit.capacitor("CX", "x", "0", 1e-15)
+    op = operating_point(circuit)
+    freqs = np.logspace(1, 6, 11)
+    result = noise_analysis(circuit, op, freqs, "out", input_source="V1")
+    np.testing.assert_allclose(np.abs(result.gain), 10.0, rtol=1e-6)
+    np.testing.assert_allclose(result.input_psd * 100.0, result.output_psd, rtol=1e-9)
+
+
+def test_noise_dominant_contributors_ranked():
+    circuit = rc_lowpass()
+    op = operating_point(circuit)
+    result = noise_analysis(circuit, op, np.logspace(1, 8, 36), "out")
+    ranked = result.dominant_contributors()
+    assert ranked[0][0] == "R1:thermal"

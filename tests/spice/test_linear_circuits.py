@@ -1,0 +1,174 @@
+"""DC correctness on linear circuits with known closed-form answers."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_sweep, operating_point
+from repro.spice.errors import NetlistError
+
+
+def test_voltage_divider():
+    c = Circuit()
+    c.vsource("V1", "in", "0", 12.0)
+    c.resistor("R1", "in", "mid", "2k")
+    c.resistor("R2", "mid", "0", "1k")
+    op = operating_point(c)
+    assert op.v("mid") == pytest.approx(4.0, rel=1e-6)
+    assert op.i("V1") == pytest.approx(-12.0 / 3000.0, rel=1e-6)
+    assert op.source_power("V1") == pytest.approx(12.0**2 / 3000.0, rel=1e-6)
+
+
+def test_current_source_into_resistor():
+    c = Circuit()
+    c.isource("I1", "0", "a", 1e-3)  # pushes 1 mA into node a
+    c.resistor("R1", "a", "0", "5k")
+    op = operating_point(c)
+    assert op.v("a") == pytest.approx(5.0, rel=1e-6)
+
+
+def test_superposition_two_sources():
+    c = Circuit()
+    c.vsource("V1", "a", "0", 10.0)
+    c.vsource("V2", "b", "0", 5.0)
+    c.resistor("R1", "a", "m", "1k")
+    c.resistor("R2", "b", "m", "1k")
+    c.resistor("R3", "m", "0", "1k")
+    op = operating_point(c)
+    assert op.v("m") == pytest.approx(5.0, rel=1e-6)
+
+
+def test_wheatstone_bridge_balanced():
+    c = Circuit()
+    c.vsource("V1", "top", "0", 10.0)
+    c.resistor("R1", "top", "l", "1k")
+    c.resistor("R2", "top", "r", "1k")
+    c.resistor("R3", "l", "0", "2k")
+    c.resistor("R4", "r", "0", "2k")
+    c.resistor("RB", "l", "r", "10k")
+    op = operating_point(c)
+    assert op.v("l") == pytest.approx(op.v("r"), abs=1e-9)
+
+
+def test_inductor_is_dc_short():
+    c = Circuit()
+    c.vsource("V1", "in", "0", 3.0)
+    c.resistor("R1", "in", "a", "1k")
+    c.inductor("L1", "a", "b", "1m")
+    c.resistor("R2", "b", "0", "1k")
+    op = operating_point(c)
+    assert op.v("a") == pytest.approx(op.v("b"), abs=1e-9)
+    assert op.v("b") == pytest.approx(1.5, rel=1e-6)
+
+
+def test_capacitor_is_dc_open():
+    c = Circuit()
+    c.vsource("V1", "in", "0", 3.0)
+    c.resistor("R1", "in", "a", "1k")
+    c.capacitor("C1", "a", "0", "1n")
+    c.resistor("R2", "a", "0", "9k")
+    op = operating_point(c)
+    assert op.v("a") == pytest.approx(2.7, rel=1e-6)
+
+
+def test_floating_node_rejected():
+    c = Circuit()
+    c.vsource("V1", "in", "0", 1.0)
+    c.resistor("R1", "in", "a", "1k")
+    c.capacitor("C1", "a", "float_me", "1n")  # float_me has no DC path
+    c.resistor("R2", "a", "0", "1k")
+    with pytest.raises(NetlistError, match="float_me"):
+        operating_point(c)
+
+
+def test_duplicate_device_name_rejected():
+    c = Circuit()
+    c.resistor("R1", "a", "0", "1k")
+    with pytest.raises(NetlistError):
+        c.resistor("R1", "a", "0", "2k")
+
+
+def test_dc_sweep_linear_response():
+    c = Circuit()
+    c.vsource("V1", "in", "0", 0.0)
+    c.resistor("R1", "in", "out", "1k")
+    c.resistor("R2", "out", "0", "3k")
+    values = np.linspace(0.0, 4.0, 9)
+    sweep = dc_sweep(c, "V1", values)
+    np.testing.assert_allclose(sweep.v("out"), values * 0.75, atol=1e-9)
+    # source waveform restored after the sweep
+    assert c["V1"].voltage_at(None) == 0.0
+
+
+def test_controlled_sources():
+    # VCVS amplifier: vout = 4 * vin
+    c = Circuit()
+    c.vsource("V1", "in", "0", 0.5)
+    c.resistor("RI", "in", "0", "1k")
+    c.vcvs("E1", "out", "0", "in", "0", 4.0)
+    c.resistor("RL", "out", "0", "1k")
+    op = operating_point(c)
+    assert op.v("out") == pytest.approx(2.0, rel=1e-9)
+
+    # VCCS: i = 1mS * vin into 2k -> 1V at node a
+    c2 = Circuit()
+    c2.vsource("V1", "in", "0", 0.5)
+    c2.resistor("RI", "in", "0", "1k")
+    c2.vccs("G1", "0", "a", "in", "0", 1e-3)
+    c2.resistor("RL", "a", "0", "2k")
+    op2 = operating_point(c2)
+    assert op2.v("a") == pytest.approx(0.5 * 1e-3 * 2e3, rel=1e-6)
+
+
+def test_cccs_and_ccvs_reference_sense_source():
+    # CCCS doubles the current of the sense branch.
+    c = Circuit()
+    c.vsource("V1", "in", "0", 1.0)
+    c.vsource("VS", "in", "a", 0.0)  # sense: carries i = 1V/1k = 1 mA
+    c.resistor("R1", "a", "0", "1k")
+    c.cccs("F1", "0", "b", "VS", 2.0)
+    c.resistor("RB", "b", "0", "1k")
+    op = operating_point(c)
+    assert op.v("b") == pytest.approx(2.0, rel=1e-6)
+
+    c2 = Circuit()
+    c2.vsource("V1", "in", "0", 1.0)
+    c2.vsource("VS", "in", "a", 0.0)
+    c2.resistor("R1", "a", "0", "1k")
+    c2.ccvs("H1", "b", "0", "VS", 3000.0)  # v(b) = 3000 * 1 mA = 3 V
+    c2.resistor("RB", "b", "0", "1k")
+    op2 = operating_point(c2)
+    assert op2.v("b") == pytest.approx(3.0, rel=1e-6)
+
+
+def test_missing_sense_source_raises():
+    c = Circuit()
+    c.vsource("V1", "a", "0", 1.0)
+    c.resistor("R1", "a", "0", "1k")
+    c.cccs("F1", "0", "b", "NOPE", 2.0)
+    c.resistor("RB", "b", "0", "1k")
+    with pytest.raises(NetlistError, match="NOPE"):
+        operating_point(c)
+
+
+def test_diode_forward_drop():
+    c = Circuit()
+    c.vsource("V1", "in", "0", 5.0)
+    c.resistor("R1", "in", "a", "1k")
+    c.diode("D1", "a", "0")
+    op = operating_point(c)
+    # ~0.55-0.75 V forward drop at ~4.4 mA
+    assert 0.4 < op.v("a") < 0.85
+    i = (5.0 - op.v("a")) / 1000.0
+    assert i == pytest.approx(1e-14 * (np.exp(op.v("a") / 0.025852) - 1.0), rel=1e-3)
+
+
+def test_include_subcircuit():
+    sub = Circuit("divider")
+    sub.resistor("RA", "in", "out", "1k")
+    sub.resistor("RB", "out", "0", "1k")
+    main = Circuit()
+    main.vsource("V1", "n1", "0", 2.0)
+    main.include(sub, "X1.", {"in": "n1", "out": "n2"})
+    op = operating_point(main)
+    assert op.v("n2") == pytest.approx(1.0, rel=1e-6)
+    assert main["X1.RA"].nodes == ("n1", "n2")

@@ -1,0 +1,150 @@
+"""MOSFET model: square-law values, derivative consistency, regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import MOSFET, NMOS_180, PMOS_180, Circuit, operating_point
+from repro.spice.devices.mosfet import MOSModel
+
+
+def make_nmos(w=10e-6, l=1e-6, m=1, model=NMOS_180):
+    return MOSFET("M1", "d", "g", "s", "b", model, w, l, m)
+
+
+def test_saturation_current_square_law():
+    model = MOSModel("ideal", "n", kp=200e-6, vto=0.5, lam=0.0, gamma=0.0, smooth=1e-5)
+    dev = make_nmos(model=model)
+    vgs, vds = 1.0, 1.5  # deep saturation
+    current, _, _ = dev.terminal_current(vds, vgs, 0.0, 0.0)
+    expected = 0.5 * 200e-6 * 10 * (vgs - 0.5) ** 2
+    assert current == pytest.approx(expected, rel=0.01)
+
+
+def test_triode_current_square_law():
+    model = MOSModel("ideal", "n", kp=200e-6, vto=0.5, lam=0.0, gamma=0.0, smooth=1e-5)
+    dev = make_nmos(model=model)
+    vgs, vds = 1.5, 0.05  # deep triode
+    current, _, _ = dev.terminal_current(vds, vgs, 0.0, 0.0)
+    expected = 200e-6 * 10 * ((vgs - 0.5) * vds - vds**2 / 2)
+    assert current == pytest.approx(expected, rel=0.02)
+
+
+def test_cutoff_leakage_is_tiny():
+    dev = make_nmos()
+    current, _, _ = dev.terminal_current(1.8, 0.0, 0.0, 0.0)
+    assert abs(current) < 1e-9
+
+
+def test_multiplier_scales_current():
+    single = make_nmos(m=1)
+    quad = make_nmos(m=4)
+    i1, _, _ = single.terminal_current(1.0, 1.2, 0.0, 0.0)
+    i4, _, _ = quad.terminal_current(1.0, 1.2, 0.0, 0.0)
+    assert i4 == pytest.approx(4 * i1, rel=1e-12)
+
+
+def test_pmos_mirror_symmetry():
+    nmos = make_nmos(model=NMOS_180)
+    pmos = MOSFET("M2", "d", "g", "s", "b", PMOS_180, 10e-6, 1e-6)
+    i_n, _, _ = nmos.terminal_current(1.0, 1.2, 0.0, 0.0)
+    i_p, _, _ = pmos.terminal_current(-1.0, -1.2, 0.0, 0.0)
+    # PMOS current flows out of the drain; magnitudes differ by the kp ratio
+    # and the polarity-specific channel-length modulation at vds = 1 V.
+    assert i_p < 0
+    lam_scale = 0.5  # lref / L for these geometries
+    clm_ratio = (1 + PMOS_180.lam * lam_scale) / (1 + NMOS_180.lam * lam_scale)
+    expected = PMOS_180.kp / NMOS_180.kp * clm_ratio
+    assert abs(i_p) / i_n == pytest.approx(expected, rel=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vd=st.floats(-2.0, 2.0),
+    vg=st.floats(0.0, 2.0),
+    vs=st.floats(0.0, 1.0),
+)
+def test_derivatives_match_finite_differences(vd, vg, vs):
+    """Property: analytic Jacobian == numerical Jacobian everywhere."""
+    dev = make_nmos()
+    eps = 1e-7
+    _, derivs, _ = dev.terminal_current(vd, vg, vs, 0.0)
+    volts = [vd, vg, vs, 0.0]
+    for k in range(4):
+        hi = volts.copy()
+        lo = volts.copy()
+        hi[k] += eps
+        lo[k] -= eps
+        i_hi, _, _ = dev.terminal_current(*hi)
+        i_lo, _, _ = dev.terminal_current(*lo)
+        numeric = (i_hi - i_lo) / (2 * eps)
+        assert derivs[k] == pytest.approx(numeric, rel=1e-3, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vgs=st.floats(0.0, 2.0), vds=st.floats(0.0, 2.0))
+def test_current_monotone_in_vgs_and_vds(vgs, vds):
+    """Property: Ids is non-decreasing in both vgs and vds (lam >= 0)."""
+    dev = make_nmos()
+    i0, _, _ = dev.terminal_current(vds, vgs, 0.0, 0.0)
+    i_vgs, _, _ = dev.terminal_current(vds, vgs + 0.05, 0.0, 0.0)
+    i_vds, _, _ = dev.terminal_current(vds + 0.05, vgs, 0.0, 0.0)
+    assert i_vgs >= i0 - 1e-15
+    assert i_vds >= i0 - 1e-15
+
+
+def test_source_drain_swap_continuity():
+    """Current must be continuous and odd-symmetric through vds = 0."""
+    dev = make_nmos()
+    i_plus, _, _ = dev.terminal_current(1e-6, 1.0, 0.0, 0.0)
+    i_minus, _, _ = dev.terminal_current(-1e-6, 1.0, 0.0, 0.0)
+    assert i_plus == pytest.approx(-i_minus, rel=1e-3)
+    assert abs(i_plus) < 1e-6
+
+
+def test_body_effect_raises_threshold():
+    dev = make_nmos()
+    op_low = dev._ids(1.0, 1.0, 0.0)[-1]
+    op_high = dev._ids(1.0, 1.0, 0.5)[-1]
+    assert op_high.vth > op_low.vth
+    assert op_high.ids < op_low.ids
+
+
+def test_operating_regions_reported():
+    dev = make_nmos()
+    assert dev._ids(1.0, 1.5, 0.0)[-1].region == "saturation"
+    assert dev._ids(1.5, 0.1, 0.0)[-1].region == "triode"
+    assert dev._ids(0.2, 1.0, 0.0)[-1].region == "cutoff"
+
+
+def test_saturation_margin_sign():
+    dev = make_nmos()
+    assert dev._ids(1.0, 1.5, 0.0)[-1].saturation_margin > 0
+    assert dev._ids(1.5, 0.1, 0.0)[-1].saturation_margin < 0
+
+
+def test_common_source_gain_matches_smallsignal():
+    """AC gain of a CS stage equals -gm*(RD || ro) from the OP record."""
+    from repro.spice import ac_analysis
+
+    c = Circuit()
+    c.vsource("VDD", "vdd", "0", 3.3)
+    c.vsource("VIN", "g", "0", 0.7, ac=1.0)
+    c.resistor("RD", "vdd", "d", "10k")
+    c.mosfet("M1", "d", "g", "0", "0", NMOS_180, 10e-6, 1e-6)
+    op = operating_point(c)
+    mop = op.mosfet_op("M1")
+    assert mop.region == "saturation"
+    ac = ac_analysis(c, op, np.array([10.0, 100.0]))
+    gain = abs(ac.v("d")[0])
+    expected = mop.gm / (1.0 / 10e3 + mop.gds)
+    assert gain == pytest.approx(expected, rel=1e-6)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        make_nmos(w=-1e-6)
+    with pytest.raises(ValueError):
+        MOSFET("M", "d", "g", "s", "b", NMOS_180, 1e-6, 1e-6, m=0)
+    with pytest.raises(ValueError):
+        MOSModel("bad", "x")

@@ -1,0 +1,103 @@
+"""SPICE deck export/import round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FoldedCascodeOTA, StrongArmLatch
+from repro.spice import Circuit, NMOS_180, Pulse, operating_point
+from repro.spice.errors import NetlistError
+from repro.spice.netlist_io import parse_netlist, write_netlist
+
+
+def test_rc_roundtrip_preserves_op():
+    c = Circuit("rc")
+    c.vsource("V1", "in", "0", 5.0, ac=1.0)
+    c.resistor("R1", "in", "out", "2k")
+    c.resistor("R2", "out", "0", "3k")
+    c.capacitor("C1", "out", "0", "10p")
+    deck = write_netlist(c)
+    back = parse_netlist(deck)
+    assert back.title == "rc"
+    op_a = operating_point(c)
+    op_b = operating_point(back)
+    assert op_b.v("out") == pytest.approx(op_a.v("out"), rel=1e-9)
+    assert back["V1"].ac == pytest.approx(1.0)
+
+
+def test_pulse_source_roundtrip():
+    c = Circuit()
+    c.vsource("V1", "a", "0", Pulse(0, 1.8, delay=1e-9, rise=50e-12,
+                                    fall=60e-12, width=2e-9, period=8e-9))
+    c.resistor("R1", "a", "0", "1k")
+    back = parse_netlist(write_netlist(c))
+    wave = back["V1"].waveform
+    assert wave.v2 == pytest.approx(1.8)
+    assert wave.delay == pytest.approx(1e-9)
+    assert wave.period == pytest.approx(8e-9)
+    assert wave.value(2e-9) == pytest.approx(1.8)
+
+
+def test_mosfet_circuit_roundtrip_matches_op():
+    ota = FoldedCascodeOTA()
+    amp = ota.build(ota.nominal())
+    deck = write_netlist(amp)
+    assert ".model nmos180" in deck
+    back = parse_netlist(deck)
+    assert len(back) == len(amp)
+    op_a = operating_point(amp, nodeset=ota._nodeset())
+    op_b = operating_point(back, nodeset=ota._nodeset())
+    assert op_b.v("vout") == pytest.approx(op_a.v("vout"), abs=1e-6)
+    assert op_b.v("nbias") == pytest.approx(op_a.v("nbias"), abs=1e-9)
+
+
+def test_latch_roundtrip_device_count():
+    latch = StrongArmLatch()
+    circuit = latch.build(latch.nominal())
+    back = parse_netlist(write_netlist(circuit))
+    assert len(back) == len(circuit)
+    # non-M device names gain a canonical prefix on export
+    assert back["M_S1"].nodes == circuit["S1"].nodes
+    m1 = back["M1"]
+    assert m1.model.polarity == "n"
+    assert m1.w == pytest.approx(circuit["M1"].w)
+
+
+def test_controlled_sources_roundtrip():
+    c = Circuit()
+    c.vsource("V1", "a", "0", 1.0)
+    c.vsource("VS", "a", "b", 0.0)
+    c.resistor("R1", "b", "0", "1k")
+    c.vcvs("E1", "e", "0", "a", "0", 3.0)
+    c.resistor("RE", "e", "0", "1k")
+    c.vccs("G1", "0", "g", "a", "0", 1e-3)
+    c.resistor("RG", "g", "0", "1k")
+    c.cccs("F1", "0", "f", "VS", 2.0)
+    c.resistor("RF", "f", "0", "1k")
+    c.ccvs("H1", "h", "0", "VS", 500.0)
+    c.resistor("RH", "h", "0", "1k")
+    back = parse_netlist(write_netlist(c))
+    op_a = operating_point(c)
+    op_b = operating_point(back)
+    for node in ("e", "g", "f", "h"):
+        assert op_b.v(node) == pytest.approx(op_a.v(node), rel=1e-9)
+
+
+def test_parse_rejects_unknown_model_and_empty():
+    with pytest.raises(NetlistError, match="unknown model"):
+        parse_netlist("M1 d g s b mystery_model W=1e-6 L=1e-6\n.end")
+    with pytest.raises(NetlistError, match="empty"):
+        parse_netlist("* nothing here\n.end")
+
+
+def test_parse_custom_model_card():
+    deck = """* custom
+.model mymos NMOS KP=0.0005 VTO=0.4 LAMBDA=0.1 GAMMA=0.3 PHI=0.8 COX=0.01
+VDD vdd 0 1.8
+M1 vdd vdd 0 0 mymos W=1e-05 L=1e-06 M=2
+.end
+"""
+    circuit = parse_netlist(deck)
+    m1 = circuit["M1"]
+    assert m1.model.kp == pytest.approx(5e-4)
+    assert m1.model.vto == pytest.approx(0.4)
+    assert m1.m == 2

@@ -1,0 +1,115 @@
+"""Waveform measurement helpers and unit parsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice import parse_value, format_eng, waveform
+from repro.spice.errors import AnalysisError
+
+
+class TestUnits:
+    @pytest.mark.parametrize("text,expected", [
+        ("1k", 1e3), ("2.5k", 2.5e3), ("100n", 1e-7), ("3meg", 3e6),
+        ("0.5u", 5e-7), ("10p", 1e-11), ("1.5f", 1.5e-15), ("2g", 2e9),
+        ("100nF", 1e-7), ("4.7K", 4.7e3), ("-3m", -3e-3), ("1e-9", 1e-9),
+        (42, 42.0), (3.14, 3.14),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+    def test_format_eng(self):
+        assert format_eng(2.5e-9, "s") == "2.5 ns"
+        assert format_eng(3300.0, "Ohm") == "3.3 kOhm"
+        assert format_eng(0.0) == "0"
+
+    @given(st.floats(min_value=1e-14, max_value=1e13))
+    def test_roundtrip_magnitude(self, value):
+        text = format_eng(value, digits=12)
+        number, suffix = text.split(" ") if " " in text else (text, "")
+        scale = {"T": 1e12, "G": 1e9, "M": 1e6, "k": 1e3, "": 1.0, "m": 1e-3,
+                 "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15}[suffix]
+        assert float(number) * scale == pytest.approx(value, rel=1e-9)
+
+
+class TestMeasurements:
+    def test_crossings_interpolate(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        rises = waveform.crossings(t, y, 0.5, "rise")
+        np.testing.assert_allclose(rises, [0.5, 2.5])
+        falls = waveform.crossings(t, y, 0.5, "fall")
+        np.testing.assert_allclose(falls, [1.5])
+
+    def test_delay_between_edges(self):
+        t = np.linspace(0, 10, 1001)
+        a = (t > 2).astype(float)
+        b = (t > 3.5).astype(float)
+        delay = waveform.delay_between(t, a, b, 0.5, 0.5, "rise", "rise")
+        assert delay == pytest.approx(1.5, abs=0.02)
+
+    def test_delay_between_slack_allows_early_target(self):
+        t = np.linspace(0, 10, 1001)
+        a = (t > 2.0).astype(float)
+        b = (t > 1.9).astype(float)  # target leads the reference slightly
+        with pytest.raises(AnalysisError):
+            # without slack, the only crossing is "before" the reference
+            waveform.delay_between(t, a, b, 0.5, 0.5, "rise", "rise")
+        delay = waveform.delay_between(t, a, b, 0.5, 0.5, "rise", "rise", slack=0.5)
+        assert delay == pytest.approx(-0.1, abs=0.02)
+
+    def test_settling_time_exponential(self):
+        t = np.linspace(0, 10, 2001)
+        y = 1 - np.exp(-t)
+        # 1% settling of a pure exponential: ln(100) ~ 4.605 time constants
+        settle = waveform.settling_time(t, y, final=1.0, tolerance=0.01)
+        assert settle == pytest.approx(np.log(100), abs=0.02)
+
+    def test_settling_time_already_settled(self):
+        t = np.linspace(0, 1, 101)
+        y = np.ones_like(t)
+        assert waveform.settling_time(t, y, final=1.0) == 0.0
+
+    def test_overshoot(self):
+        t = np.linspace(0, 1, 101)
+        y = 1 - np.exp(-8 * t) * np.cos(20 * t)
+        assert waveform.overshoot(y, final=1.0) > 0.1
+        assert waveform.overshoot(np.linspace(0, 1, 50), final=1.0) == 0.0
+
+    def test_rise_time_linear_ramp(self):
+        t = np.linspace(0, 1, 1001)
+        y = np.clip(t * 2, 0, 1)  # 0 -> 1 over 0.5
+        assert waveform.rise_time(t, y) == pytest.approx(0.8 * 0.5, abs=0.01)
+
+    def test_phase_margin_single_pole(self):
+        freqs = np.logspace(0, 6, 301)
+        h = 1000.0 / (1 + 1j * freqs / 100.0)  # pole at 100 Hz, UGF at ~1e5
+        assert waveform.unity_gain_frequency(freqs, h) == pytest.approx(1e5, rel=0.01)
+        assert waveform.phase_margin(freqs, h) == pytest.approx(90.0, abs=1.0)
+
+    def test_phase_margin_two_pole(self):
+        freqs = np.logspace(0, 7, 501)
+        h = 1000.0 / ((1 + 1j * freqs / 100.0) * (1 + 1j * freqs / 1e5))
+        pm = waveform.phase_margin(freqs, h)
+        assert 40.0 < pm < 55.0  # ~45 deg with the second pole at the UGF
+
+    def test_gain_margin_three_pole(self):
+        freqs = np.logspace(0, 8, 601)
+        h = 100.0 / ((1 + 1j * freqs / 1e3) ** 3)
+        gm = waveform.gain_margin_db(freqs, h)
+        # |H| at phase -180 (f = sqrt(3)*1e3): 100/8 -> GM = -20log10(12.5)
+        assert gm == pytest.approx(-20 * np.log10(100.0 / 8.0), abs=0.5)
+
+    def test_gain_margin_infinite_for_single_pole(self):
+        freqs = np.logspace(0, 6, 201)
+        h = 10.0 / (1 + 1j * freqs / 100.0)
+        assert waveform.gain_margin_db(freqs, h) == np.inf
+
+    def test_peaking_db(self):
+        freqs = np.logspace(0, 4, 201)
+        flat = np.ones_like(freqs, dtype=complex)
+        assert waveform.peaking_db(freqs, flat) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,87 @@
+"""Cross-module integration: the paper's pipelines end to end (scaled down)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimulatedAnnealing
+from repro.circuits import CTLE, InverterChain, LDORegulator
+from repro.core import DNNOpt
+from repro.sensitivity import reduce_problem, sensitivity_analysis
+from repro.spice import estimate_parasitics
+
+
+def test_dnnopt_optimizes_a_real_circuit():
+    """DNN-Opt on the CTLE: find a feasible equalizer within a tiny budget,
+    starting from the designer nominal (the Table V protocol)."""
+    circuit = CTLE()
+    problem = circuit.problem()
+    nominal = np.array([circuit.nominal()[n] for n in problem.space.names])
+    opt = DNNOpt(problem, budget=45, seed=0, n_init=10, n_elite=6,
+                 critic_epochs=8, actor_epochs=10, max_pseudo=1200,
+                 initial_designs=nominal[None, :], stop_when_feasible=True)
+    history = opt.run()
+    assert history.any_feasible, "DNN-Opt failed to fine-tune the CTLE"
+    assert history.evals_to_first_feasible <= 45
+
+
+def test_sensitivity_reduction_pipeline_on_ldo():
+    """Eq. 7 recipe: sensitivity -> reduced problem -> optimize."""
+    circuit = LDORegulator()
+    problem = circuit.problem()
+    nominal = np.array([circuit.nominal()[n] for n in problem.space.names])
+    sens = sensitivity_analysis(problem, nominal, step=0.1)
+    # The paper's recipe targets the *failing* constraints.
+    nominal_row = problem.evaluate(nominal)
+    violations = problem.normalize(nominal_row)[1:]
+    failing = [s.name for s, v in zip(problem.specs, violations) if v > 0]
+    assert failing, "LDO nominal should start with at least one failing spec"
+    reduced = reduce_problem(problem, sens, threshold=0.02, min_keep=3,
+                             metrics=failing)
+    assert 3 <= reduced.dim <= problem.dim
+
+    opt = DNNOpt(reduced, budget=40, seed=1, n_init=10, n_elite=5,
+                 critic_epochs=8, actor_epochs=10, max_pseudo=1000,
+                 initial_designs=nominal[reduced.keep_columns][None, :],
+                 stop_when_feasible=True)
+    history = opt.run()
+    assert history.any_feasible
+
+
+def test_sa_baseline_on_reduced_inverter_chain():
+    circuit = InverterChain()
+    problem = circuit.problem()
+    nominal = np.array([circuit.nominal()[n] for n in problem.space.names])
+    sa = SimulatedAnnealing(problem, 40, seed=2, x0=nominal, initial_step=0.1)
+    history = sa.run()
+    assert history.n_evals == 40
+    assert history.best_fom <= history.fom[0] + 1e-12
+
+
+def test_parasitic_estimator_degrades_timing():
+    """MLParest substitute: adding estimated parasitics slows the chain."""
+    circuit = InverterChain()
+    fast = circuit.measure(circuit.nominal())
+
+    slowed = InverterChain()
+    original_build = slowed.build
+
+    def build_with_parasitics(params):
+        netlist = original_build(params)
+        added = estimate_parasitics(netlist, skip={"vdd", "n0"})
+        assert added > 0
+        return netlist
+
+    slowed.build = build_with_parasitics
+    slow = slowed.measure(slowed.nominal())
+    assert slow["delay_rise_s"] > fast["delay_rise_s"]
+
+
+def test_histories_comparable_across_optimizers():
+    """All optimizers report the same FoM metric so curves are comparable."""
+    problem = CTLE().problem()
+    x = np.array([CTLE().nominal()[n] for n in problem.space.names])
+    from repro.core.fom import fom_from_raw
+
+    row = problem.evaluate(x)
+    value = fom_from_raw(problem, row[None, :])[0]
+    assert np.isfinite(value) and value >= 0.0
