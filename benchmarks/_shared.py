@@ -24,9 +24,20 @@ def bench_scale() -> ExperimentScale:
                            industrial_budget=60, sa_budget=150)
 
 
+def bench_workers() -> int:
+    """Trial-level parallelism knob: ``REPRO_WORKERS=N`` (default serial).
+
+    Results are worker-count independent (per-trial seeding); only
+    wall-clock changes, so set it to the machine's core count for the
+    paper-scale ``REPRO_FULL=1`` runs.
+    """
+    return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+
 @functools.lru_cache(maxsize=1)
 def folded_cascode_comparison():
-    return run_building_block_comparison(FoldedCascodeOTA, scale=bench_scale())
+    return run_building_block_comparison(FoldedCascodeOTA, scale=bench_scale(),
+                                         workers=bench_workers())
 
 
 @functools.lru_cache(maxsize=1)
@@ -37,4 +48,5 @@ def latch_comparison():
         scale = ExperimentScale(n_trials=1, budget=40, de_budget=100,
                                 industrial_budget=scale.industrial_budget,
                                 sa_budget=scale.sa_budget)
-    return run_building_block_comparison(StrongArmLatch, scale=scale)
+    return run_building_block_comparison(StrongArmLatch, scale=scale,
+                                         workers=bench_workers())

@@ -1,0 +1,92 @@
+"""Wall-clock benchmark: parallel trials on the folded-cascode comparison.
+
+Measures ``run_trials`` on the FoldedCascodeOTA sizing problem, serial vs
+process-pool workers.  Because the bundled SPICE engine is pure CPU-bound
+python, the speedup tracks the number of *physical cores*; pass
+``--latency MS`` to model an external batch simulator (license queue /
+subprocess SPICE), where trials are wait-bound and the pool overlaps the
+waits even on a single core.
+
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py --workers 4
+
+This is a script, not a pytest module — the timing assertions live in
+CHANGES.md as measured notes, not in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines import RandomSearch
+from repro.circuits import FoldedCascodeOTA
+from repro.core import DNNOpt
+from repro.experiments import run_trials
+
+
+class _LatencyProblem:
+    """Wraps a problem, adding fixed per-evaluation latency (external sim)."""
+
+    def __init__(self, problem, latency_s: float):
+        self._problem = problem
+        self._latency_s = latency_s
+
+    def evaluate(self, x):
+        time.sleep(self._latency_s)
+        return self._problem.evaluate(x)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):  # keep pickle/copy protocol lookups local
+            raise AttributeError(name)
+        return getattr(self._problem, name)
+
+
+def _factory(kind: str):
+    if kind == "dnnopt":
+        return lambda p, b, s: DNNOpt(p, b, s, n_init=10, n_elite=6,
+                                      critic_epochs=8, actor_epochs=10,
+                                      critic_hidden=(32, 32), actor_hidden=(32, 32),
+                                      max_pseudo=1500)
+    return lambda p, b, s: RandomSearch(p, b, s)
+
+
+def bench(workers: int, *, budget: int, n_trials: int, latency_ms: float,
+          optimizer: str) -> tuple[float, list]:
+    def problem_factory():
+        problem = FoldedCascodeOTA().problem()
+        if latency_ms > 0:
+            problem = _LatencyProblem(problem, latency_ms / 1e3)
+        return problem
+
+    start = time.perf_counter()
+    histories = run_trials(_factory(optimizer), problem_factory, budget=budget,
+                           n_trials=n_trials, base_seed=0, workers=workers)
+    return time.perf_counter() - start, histories
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--budget", type=int, default=30)
+    parser.add_argument("--trials", type=int, default=4)
+    parser.add_argument("--latency", type=float, default=0.0,
+                        help="per-simulation latency in ms (external-sim model)")
+    parser.add_argument("--optimizer", choices=["random", "dnnopt"],
+                        default="dnnopt")
+    args = parser.parse_args()
+
+    common = dict(budget=args.budget, n_trials=args.trials,
+                  latency_ms=args.latency, optimizer=args.optimizer)
+    t_serial, h_serial = bench(1, **common)
+    t_parallel, h_parallel = bench(args.workers, **common)
+
+    identical = all(np.array_equal(a.X, b.X) and np.array_equal(a.F, b.F)
+                    for a, b in zip(h_serial, h_parallel))
+    print(f"folded-cascode {args.optimizer}, {args.trials} trials x "
+          f"budget {args.budget}, latency {args.latency:g} ms/sim")
+    print(f"  serial (workers=1):        {t_serial:8.2f} s")
+    print(f"  parallel (workers={args.workers}):     {t_parallel:8.2f} s")
+    print(f"  speedup:                   {t_serial / t_parallel:8.2f}x")
+    print(f"  histories identical:       {identical}")

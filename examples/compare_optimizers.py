@@ -3,10 +3,12 @@
 Runs DE, BO-wEI, GASPAD and DNN-Opt on the latch sizing problem and plots
 the average FoM convergence as ASCII (the paper's Figures 3/4).  Budgets are
 scaled down for a quick demonstration; set ``REPRO_FULL=1`` for the paper's
-protocol.
+protocol.  Independent trials can be spread over a process pool:
 
-    python examples/compare_optimizers.py
+    python examples/compare_optimizers.py --workers 4 --trials 4
 """
+
+import argparse
 
 from repro.circuits import StrongArmLatch
 from repro.experiments import (
@@ -17,9 +19,21 @@ from repro.experiments import (
 )
 
 if __name__ == "__main__":
-    scale = ExperimentScale(n_trials=1, budget=40, de_budget=120,
-                            industrial_budget=40, sa_budget=100)
-    result = run_building_block_comparison(StrongArmLatch, scale=scale, verbose=True)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers for the trial loop")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="independent trials per algorithm")
+    parser.add_argument("--budget", type=int, default=40,
+                        help="simulation budget for the model-based methods")
+    args = parser.parse_args()
+
+    scale = ExperimentScale(n_trials=args.trials, budget=args.budget,
+                            de_budget=3 * args.budget,
+                            industrial_budget=args.budget,
+                            sa_budget=max(100, 2 * args.budget))
+    result = run_building_block_comparison(StrongArmLatch, scale=scale,
+                                           workers=args.workers, verbose=True)
 
     print()
     print(render_stats_table(result["stats"], objective_label="power (uW)",

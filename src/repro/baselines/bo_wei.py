@@ -36,8 +36,9 @@ class BOwEI(Optimizer):
                  n_init: int = 20, wei_weight: float = 0.5,
                  pool_size: int = 1024, local_points: int = 256,
                  refit_every: int = 1, gp_restarts: int = 1,
-                 stop_when_feasible: bool = False):
-        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible)
+                 stop_when_feasible: bool = False, engine=None):
+        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible,
+                         engine=engine)
         self.n_init = int(n_init)
         self.wei_weight = float(wei_weight)
         self.pool_size = int(pool_size)

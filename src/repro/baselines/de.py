@@ -23,8 +23,9 @@ class DifferentialEvolution(Optimizer):
 
     def __init__(self, problem, budget: int, seed: int = 0, *,
                  pop_size: int | None = None, f_weight: float = 0.6,
-                 crossover: float = 0.9, stop_when_feasible: bool = False):
-        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible)
+                 crossover: float = 0.9, stop_when_feasible: bool = False, engine=None):
+        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible,
+                         engine=engine)
         if pop_size is None:
             pop_size = min(50, max(12, 5 * problem.dim))
         if pop_size < 4:

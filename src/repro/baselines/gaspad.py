@@ -31,8 +31,9 @@ class GASPAD(Optimizer):
                  f_weight: float = 0.6, crossover: float = 0.9,
                  lcb_beta: float = 2.0, refit_every: int = 1,
                  gp_restarts: int = 1, max_train: int = 200,
-                 stop_when_feasible: bool = False):
-        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible)
+                 stop_when_feasible: bool = False, engine=None):
+        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible,
+                         engine=engine)
         if pop_size is None:
             pop_size = min(40, max(10, 4 * problem.dim))
         self.n_init = int(n_init)

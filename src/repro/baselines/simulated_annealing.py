@@ -26,8 +26,9 @@ class SimulatedAnnealing(Optimizer):
                  cooling: float = 0.97, steps_per_temperature: int = 10,
                  initial_step: float = 0.25, target_acceptance: float = 0.4,
                  x0: np.ndarray | None = None,
-                 stop_when_feasible: bool = False):
-        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible)
+                 stop_when_feasible: bool = False, engine=None):
+        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible,
+                         engine=engine)
         if not 0.0 < cooling < 1.0:
             raise ValueError("cooling must be in (0, 1)")
         self.initial_temperature = initial_temperature

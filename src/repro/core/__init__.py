@@ -3,6 +3,7 @@
 from .actor import Actor
 from .critic import Critic
 from .dnn_opt import DNNOpt
+from .engine import EvalEngine, default_workers
 from .fom import fom_from_raw, fom_normalized, fom_tensor
 from .history import OptimizationHistory, Optimizer
 from .pseudo import generate_pseudo_samples
@@ -11,6 +12,8 @@ __all__ = [
     "DNNOpt",
     "Actor",
     "Critic",
+    "EvalEngine",
+    "default_workers",
     "Optimizer",
     "OptimizationHistory",
     "fom_normalized",

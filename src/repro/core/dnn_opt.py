@@ -14,6 +14,12 @@ Each iteration (after ``n_init`` space-filling simulations):
    SPICE query (line 9, Eq. 8);
 7. the chosen candidate is simulated and appended (lines 10-14).
 
+With ``batch_size=k`` the per-iteration query of line 9 generalizes from the
+argmin of Eq. 8 to the *top-k* non-duplicate critic-scored candidates, all
+simulated in one :class:`~repro.core.engine.EvalEngine` dispatch — the
+actor/critic retraining cost is then amortized over ``k`` simulator queries
+and the batch can run on a parallel engine backend.
+
 All learning happens in normalized coordinates: designs in the unit cube,
 specs in the ``fi <= 0`` violation form.
 """
@@ -59,6 +65,13 @@ class DNNOpt(Optimizer):
     use_pseudo_samples / use_delta_input:
         Ablation switches: disable Eq. 2 augmentation and/or train a plain
         d-input critic on raw samples (used by the critic ablation bench).
+    batch_size:
+        Simulator queries per iteration.  ``1`` (default) is the paper's
+        Algorithm 1; ``k > 1`` selects the k best non-duplicate candidates
+        under the critic score and simulates them as one engine batch.
+    engine:
+        Optional :class:`~repro.core.engine.EvalEngine` for the simulator
+        dispatch (serial in-process by default).
     """
 
     name = "DNN-Opt"
@@ -79,12 +92,18 @@ class DNNOpt(Optimizer):
                  min_region_width: float = 0.02,
                  use_pseudo_samples: bool = True,
                  initial_designs: np.ndarray | None = None,
+                 batch_size: int = 1,
+                 engine=None,
                  stop_when_feasible: bool = False):
-        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible)
+        super().__init__(problem, budget, seed, stop_when_feasible=stop_when_feasible,
+                         engine=engine)
         if n_elite < 2:
             raise ValueError("n_elite must be >= 2")
         if n_init < 2:
             raise ValueError("n_init must be >= 2")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
         self.n_init = int(n_init)
         self.n_elite = int(n_elite)
         self.exploration_noise = float(exploration_noise)
@@ -117,11 +136,24 @@ class DNNOpt(Optimizer):
             self.evaluate(x)
 
         while self.history.n_evals < self.budget:
-            candidate = self._next_candidate()
-            self.evaluate(candidate)
+            batch = self._next_candidates()
+            self.evaluate_batch(batch)
 
     # ------------------------------------------------------------------
     def _next_candidate(self) -> np.ndarray:
+        """Single next query (Algorithm 1 line 9) — ``batch_size=1`` view."""
+        return self._next_candidates(count=1)[0]
+
+    def _next_candidates(self, count: int | None = None) -> np.ndarray:
+        """The next ``count`` simulator queries as a ``(count, d)`` batch.
+
+        One actor/critic retraining selects all ``count`` candidates: the
+        top-k critic-scored, mutually non-duplicate proposals (Eq. 8
+        generalized from argmin to top-k).
+        """
+        if count is None:
+            count = min(self.batch_size, self.budget - self.history.n_evals)
+        count = max(1, int(count))
         space = self.problem.space
         with self.timed_modeling():
             Xn = space.normalize(self.history.X)
@@ -161,7 +193,8 @@ class DNNOpt(Optimizer):
             candidates = np.clip(np.vstack([noisy, quiet]), 0.0, 1.0)
             predictions = critic.predict(anchors, candidates - anchors)
             scores = fom_normalized(predictions, w0, weights)
-            chosen = self._select_non_duplicate(candidates, scores, lb_rest, ub_rest)
+            chosen = self._select_non_duplicate(candidates, scores, lb_rest, ub_rest,
+                                                count=count)
         return space.denormalize(chosen)
 
     def _elite_designs(self, Xn: np.ndarray) -> np.ndarray:
@@ -182,25 +215,51 @@ class DNNOpt(Optimizer):
         return lb, ub
 
     def _select_non_duplicate(self, candidates: np.ndarray, scores: np.ndarray,
-                              lb_rest: np.ndarray, ub_rest: np.ndarray) -> np.ndarray:
-        """Best-scored candidate that is not an archive duplicate.
+                              lb_rest: np.ndarray, ub_rest: np.ndarray, *,
+                              count: int = 1) -> np.ndarray:
+        """The ``count`` best-scored candidates that duplicate neither the
+        archive nor each other; shape ``(count, d)`` in normalized coords.
 
         Duplicates arise once the elite region tightens (and always for
         integer variables after rounding); re-simulating them wastes budget,
-        so fall back through the score order and, in the limit, to a random
-        point in the restricted region.
+        so walk the score order first, then fall back to random draws — in
+        the restricted region, and in the limit the whole space — until the
+        batch is full.  The fallback keeps drawing until it has ``count``
+        unique designs whenever the space allows it; only when the draw
+        budget is exhausted (a space with fewer free designs than requested)
+        does it pad with duplicates so callers always receive ``count`` rows.
         """
         space = self.problem.space
         existing = self.history.X
+        chosen: list[np.ndarray] = []
+
+        def is_new(raw: np.ndarray) -> bool:
+            if self._is_duplicate(raw, existing):
+                return False
+            return not (chosen and self._is_duplicate(raw, np.asarray(chosen)))
+
         for index in np.argsort(scores):
             raw = space.round(space.denormalize(candidates[index]))
-            if not self._is_duplicate(raw, existing):
-                return space.normalize(raw)
-        fallback = self.rng.uniform(lb_rest, ub_rest)
-        raw = space.round(space.denormalize(fallback))
-        if self._is_duplicate(raw, existing):
-            raw = space.sample(self.rng, 1)[0]
-        return space.normalize(raw)
+            if is_new(raw):
+                chosen.append(raw)
+                if len(chosen) == count:
+                    break
+
+        attempts, max_attempts = 0, 200 * count
+        while len(chosen) < count and attempts < max_attempts:
+            attempts += 1
+            fallback = self.rng.uniform(lb_rest, ub_rest)
+            raw = space.round(space.denormalize(fallback))
+            if not is_new(raw):
+                raw = space.sample(self.rng, 1)[0]
+            if is_new(raw):
+                chosen.append(raw)
+        while len(chosen) < count:
+            # Space genuinely exhausted: pad with random (duplicate) designs
+            # so the budget still progresses.
+            chosen.append(space.sample(self.rng, 1)[0])
+
+        return space.normalize(np.asarray(chosen))
 
     @staticmethod
     def _is_duplicate(raw: np.ndarray, existing: np.ndarray, tol: float = 1e-10) -> bool:

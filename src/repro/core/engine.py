@@ -1,0 +1,231 @@
+"""Batched, optionally parallel problem evaluation with result caching.
+
+Every optimizer in this package funnels its simulator queries through an
+:class:`EvalEngine`.  The engine owns two orthogonal concerns:
+
+* **dispatch** — how a batch of designs is turned into performance rows.
+  Three backends are provided: ``serial`` (in-process loop, the default),
+  ``thread`` (a :class:`~concurrent.futures.ThreadPoolExecutor`; useful when
+  the simulator releases the GIL or blocks on I/O), and ``process`` (a
+  process pool; true CPU parallelism for the pure-python SPICE engine).
+* **memoization** — a content-hashed LRU cache keyed on the *rounded* design
+  vector bytes, so re-querying an already-simulated sizing (duplicates from
+  a collapsed elite region, integer rounding, or repeated trials on the same
+  engine) never pays for a second simulation.
+
+All backends return rows in input order, so an optimizer's history is
+bit-identical no matter which backend ran the batch — the determinism and
+regression tests in ``tests/core/test_eval_engine.py`` pin this contract.
+
+The process backend inherits the problem object through ``fork`` when the
+platform supports it (no pickling of the problem per task); elsewhere the
+problem is shipped to workers via the pool initializer, which requires it to
+be picklable.  All bundled problems (synthetic suite and circuit sizing
+problems) are plain-data objects and pickle cleanly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = ["EvalEngine", "default_workers"]
+
+BACKENDS = ("serial", "thread", "process")
+
+# Problem handed to process-pool workers through the initializer (or, under
+# fork, inherited directly from the parent's memory at pool creation).
+_WORKER_PROBLEM = None
+
+
+def _init_worker(problem) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = problem
+
+
+def _eval_chunk(X: np.ndarray) -> np.ndarray:
+    """Process-pool task: evaluate a chunk of designs against the bound problem."""
+    return np.vstack([_WORKER_PROBLEM.evaluate(x) for x in X])
+
+
+def default_workers() -> int:
+    """Worker count matched to the visible CPUs (affinity-aware on Linux)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+class EvalEngine:
+    """Dispatches batches of simulator evaluations, with caching.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` | ``"thread"`` | ``"process"``.
+    workers:
+        Pool size for the parallel backends (default: visible CPU count).
+    cache_size:
+        Maximum number of memoized evaluations; ``0`` disables the cache.
+
+    The engine is reusable across batches and across optimizers sharing one
+    problem; :meth:`close` (or use as a context manager) releases the pool.
+    """
+
+    def __init__(self, backend: str = "serial", *, workers: int | None = None,
+                 cache_size: int = 100_000):
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.backend = backend
+        self.workers = int(workers) if workers is not None else default_workers()
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        # Per-instance tokens so two same-named but differently-configured
+        # problems sharing one engine can never collide in the cache.  The
+        # strong refs keep id() values unique for the engine's lifetime.
+        self._problem_tokens: dict[int, int] = {}
+        self._problem_refs: list = []
+        self._executor = None
+        self._executor_problem = None  # problem the process pool was built for
+        self.n_sim_calls = 0   # designs actually dispatched to the simulator
+        self.n_cache_hits = 0  # designs answered from the cache
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut down any live worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_problem = None
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __enter__(self) -> "EvalEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate_one(self, problem, x: np.ndarray) -> np.ndarray:
+        """Single-design convenience wrapper around :meth:`evaluate_batch`."""
+        return self.evaluate_batch(problem, np.asarray(x)[None, :])[0]
+
+    def evaluate_batch(self, problem, X: np.ndarray) -> np.ndarray:
+        """Raw performance rows for a batch of designs, in input order.
+
+        Designs are rounded through ``problem.space.round`` before hashing so
+        the cache key always matches the sizing that would be simulated.
+        Duplicate designs within one batch are simulated once.
+        """
+        X = problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        token = self._problem_token(problem)
+        keys = [self._key(token, x) for x in X]
+
+        # Resolve cache hits and in-batch duplicates before dispatching.
+        key_to_row: dict[bytes, np.ndarray] = {}
+        pending_keys: list[bytes] = []
+        pending_rows: list[np.ndarray] = []
+        for key, x in zip(keys, X):
+            if key in key_to_row:
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                key_to_row[key] = cached
+                self.n_cache_hits += 1
+            else:
+                key_to_row[key] = None  # placeholder, filled after dispatch
+                pending_keys.append(key)
+                pending_rows.append(x)
+
+        if pending_rows:
+            fresh = self._dispatch(problem, np.asarray(pending_rows))
+            self.n_sim_calls += len(pending_rows)
+            for key, row in zip(pending_keys, fresh):
+                key_to_row[key] = row
+                self._cache_put(key, row)
+
+        return np.vstack([key_to_row[key] for key in keys])
+
+    # -- cache -------------------------------------------------------------
+    def _problem_token(self, problem) -> int:
+        token = self._problem_tokens.get(id(problem))
+        if token is None:
+            token = len(self._problem_refs)
+            self._problem_tokens[id(problem)] = token
+            self._problem_refs.append(problem)
+        return token
+
+    @staticmethod
+    def _key(problem_token: int, x: np.ndarray) -> bytes:
+        digest = hashlib.blake2b(np.ascontiguousarray(x).tobytes(),
+                                 digest_size=16)
+        digest.update(str(problem_token).encode())
+        return digest.digest()
+
+    def _cache_get(self, key: bytes) -> np.ndarray | None:
+        if self.cache_size == 0:
+            return None
+        row = self._cache.get(key)
+        if row is not None:
+            self._cache.move_to_end(key)
+        return row
+
+    def _cache_put(self, key: bytes, row: np.ndarray) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = row
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self, problem, X: np.ndarray) -> np.ndarray:
+        if self.backend == "serial" or len(X) == 1:
+            return np.vstack([problem.evaluate(x) for x in X])
+        chunks = np.array_split(X, min(len(X), self.workers))
+        chunks = [c for c in chunks if len(c)]
+        if self.backend == "thread":
+            executor = self._thread_executor()
+            results = list(executor.map(
+                lambda chunk: np.vstack([problem.evaluate(x) for x in chunk]),
+                chunks))
+        else:
+            executor = self._process_executor(problem)
+            results = list(executor.map(_eval_chunk, chunks))
+        return np.vstack(results)
+
+    def _thread_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _process_executor(self, problem) -> ProcessPoolExecutor:
+        # The pool binds one problem (via fork inheritance or initializer);
+        # rebuild it if the engine is reused with a different problem.
+        if self._executor is not None and self._executor_problem is not problem:
+            self.close()
+        if self._executor is None:
+            import multiprocessing as mp
+            kwargs = {}
+            if "fork" in mp.get_all_start_methods():
+                kwargs["mp_context"] = mp.get_context("fork")
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_init_worker,
+                initargs=(problem,), **kwargs)
+            self._executor_problem = problem
+        return self._executor
+
+    def __repr__(self) -> str:
+        return (f"EvalEngine(backend={self.backend!r}, workers={self.workers}, "
+                f"cache={len(self._cache)}/{self.cache_size})")

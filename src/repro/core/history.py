@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from .engine import EvalEngine
 from .fom import fom_from_raw
 
 __all__ = ["OptimizationHistory", "Optimizer"]
@@ -129,21 +130,27 @@ class OptimizationHistory:
 class Optimizer(ABC):
     """Common driver for all black-box optimizers in this package.
 
-    Subclasses implement :meth:`_run` and call :meth:`evaluate` for every
-    simulator query; the budget, history bookkeeping, timing split and
-    optional early stop on feasibility are handled here.
+    Subclasses implement :meth:`_run` and call :meth:`evaluate` (or
+    :meth:`evaluate_batch` for several designs at once) for every simulator
+    query; the budget, history bookkeeping, timing split and optional early
+    stop on feasibility are handled here.  All queries are routed through an
+    :class:`~repro.core.engine.EvalEngine`, so any optimizer transparently
+    gains parallel dispatch and evaluation caching when the caller passes a
+    non-serial engine.
     """
 
     name = "optimizer"
 
     def __init__(self, problem, budget: int, seed: int = 0, *,
-                 stop_when_feasible: bool = False):
+                 stop_when_feasible: bool = False,
+                 engine: EvalEngine | None = None):
         if budget < 1:
             raise ValueError("budget must be >= 1")
         self.problem = problem
         self.budget = int(budget)
         self.seed = int(seed)
         self.stop_when_feasible = bool(stop_when_feasible)
+        self.engine = engine if engine is not None else EvalEngine()
         self.rng = np.random.default_rng(seed)
         self.history = OptimizationHistory(problem, self.name, seed)
 
@@ -152,19 +159,36 @@ class Optimizer(ABC):
 
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         """Simulate one design, record it, and return the raw performance row."""
-        if self.history.n_evals >= self.budget:
-            raise Optimizer._BudgetExhausted
-        x = self.problem.space.round(np.asarray(x, dtype=np.float64).ravel())
-        start = time.perf_counter()
-        f_raw = self.problem.evaluate(x)
-        self.history.simulation_time += time.perf_counter() - start
-        self.history.append(x, f_raw)
-        if (self.stop_when_feasible and self.history.feasible[-1]):
-            raise Optimizer._BudgetExhausted
-        return f_raw
+        return self.evaluate_batch(np.asarray(x, dtype=np.float64).ravel()[None, :])[0]
 
     def evaluate_batch(self, X: np.ndarray) -> np.ndarray:
-        return np.vstack([self.evaluate(x) for x in np.atleast_2d(X)])
+        """Simulate a batch of designs in one engine dispatch, in order.
+
+        The batch is truncated to the remaining budget before any simulation
+        happens, so batched optimizers never overshoot.  With
+        ``stop_when_feasible``, rows after the first feasible design in the
+        batch are discarded — exactly what the serial one-query-at-a-time
+        protocol would have recorded.
+        """
+        remaining = self.budget - self.history.n_evals
+        if remaining <= 0:
+            raise Optimizer._BudgetExhausted
+        X = self.problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        X = X[:remaining]
+        start = time.perf_counter()
+        F = self.engine.evaluate_batch(self.problem, X)
+        self.history.simulation_time += time.perf_counter() - start
+        stop = False
+        kept = len(X)
+        for i, (x, f_raw) in enumerate(zip(X, F)):
+            self.history.append(x, f_raw)
+            if self.stop_when_feasible and self.history.feasible[-1]:
+                stop = True
+                kept = i + 1
+                break
+        if stop:
+            raise Optimizer._BudgetExhausted
+        return F[:kept]
 
     def timed_modeling(self):
         """Context manager adding elapsed wall-clock to modeling time."""

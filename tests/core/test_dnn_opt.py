@@ -109,3 +109,85 @@ def test_fom_curve_monotone_nonincreasing():
     curve = history.fom_curve()
     assert len(curve) == 25
     assert np.all(np.diff(curve) <= 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Batched proposals (Eq. 8 generalized to top-k queries per iteration)
+# ----------------------------------------------------------------------
+def test_batch_size_respects_budget_exactly():
+    # 23 is not a multiple of 4: the final batch must truncate.
+    history = fast_dnnopt(Sphere(3), 23, seed=15, batch_size=4).run()
+    assert history.n_evals == 23
+
+
+def test_batch_queries_are_unique():
+    history = fast_dnnopt(Sphere(2), 30, seed=16, batch_size=3).run()
+    X = history.X
+    distances = np.linalg.norm(X[:, None, :] - X[None, :, :], axis=2)
+    np.fill_diagonal(distances, np.inf)
+    assert distances.min() > 1e-12
+
+
+def test_batch_run_is_seed_deterministic():
+    h1 = fast_dnnopt(Sphere(3), 22, seed=17, batch_size=3).run()
+    h2 = fast_dnnopt(Sphere(3), 22, seed=17, batch_size=3).run()
+    np.testing.assert_array_equal(h1.X, h2.X)
+    np.testing.assert_array_equal(h1.fom, h2.fom)
+
+
+def test_batch_size_one_matches_default():
+    default = fast_dnnopt(Sphere(3), 20, seed=18).run()
+    explicit = fast_dnnopt(Sphere(3), 20, seed=18, batch_size=1).run()
+    np.testing.assert_array_equal(default.X, explicit.X)
+
+
+def test_invalid_batch_size_rejected():
+    with pytest.raises(ValueError):
+        fast_dnnopt(Sphere(2), 10, batch_size=0)
+
+
+def test_select_non_duplicate_returns_requested_count_in_tight_region():
+    """A fully-collapsed elite region must still yield `count` unique designs.
+
+    Every candidate duplicates the archive, the restricted region has zero
+    width, and the space is integer-only — the fallback has to keep drawing
+    until it finds genuinely new designs (the space has plenty).
+    """
+    from repro.problems.base import DesignSpace, Objective, OptimizationProblem, Variable
+
+    class IntGrid(OptimizationProblem):
+        def __init__(self):
+            space = DesignSpace([Variable("a", 0, 20, kind="integer"),
+                                 Variable("b", 0, 20, kind="integer")])
+            super().__init__(space, Objective("f", scale=1.0), [])
+
+        def _evaluate(self, x):
+            return [float(x[0] + x[1])]
+
+    problem = IntGrid()
+    opt = fast_dnnopt(problem, 50, seed=19, batch_size=4)
+    # Archive a handful of designs; make every candidate a duplicate of them.
+    for x in [np.array([3.0, 3.0]), np.array([3.0, 4.0]), np.array([4.0, 3.0])]:
+        opt.evaluate(x)
+    archived_n = problem.space.normalize(opt.history.X)
+    candidates = np.vstack([archived_n] * 3)
+    scores = np.arange(len(candidates), dtype=np.float64)
+    lb = ub = problem.space.normalize(np.array([3.0, 3.0]))  # zero-width region
+
+    chosen = opt._select_non_duplicate(candidates, scores, lb, ub, count=4)
+    assert chosen.shape == (4, 2)
+    raw = problem.space.round(problem.space.denormalize(chosen))
+    # All four are new (not archived) and mutually distinct.
+    for row in raw:
+        assert not any(np.array_equal(row, a) for a in opt.history.X)
+    assert len({tuple(row) for row in raw}) == 4
+
+
+def test_select_non_duplicate_prefers_scored_candidates():
+    problem = Sphere(2)
+    opt = fast_dnnopt(problem, 30, seed=20)
+    candidates = np.array([[0.2, 0.2], [0.4, 0.4], [0.6, 0.6], [0.8, 0.8]])
+    scores = np.array([3.0, 0.0, 1.0, 2.0])  # best first: idx 1, 2, 3, 0
+    lb, ub = np.zeros(2), np.ones(2)
+    chosen = opt._select_non_duplicate(candidates, scores, lb, ub, count=2)
+    np.testing.assert_allclose(chosen, candidates[[1, 2]])

@@ -1,0 +1,165 @@
+"""EvalEngine: backend equivalence, caching, and optimizer wiring.
+
+The load-bearing contract: an optimizer's history is *bit-identical* no
+matter which engine backend dispatched its simulator batches, and a cache
+hit never re-invokes the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.core import DNNOpt, EvalEngine, default_workers
+from repro.problems import ConstrainedSphere, Sphere
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+class CountingSphere(Sphere):
+    """Sphere that counts in-process simulator invocations."""
+
+    def __init__(self, dim=3):
+        super().__init__(dim)
+        self.calls = 0
+
+    def _evaluate(self, x):
+        self.calls += 1
+        return super()._evaluate(x)
+
+
+def small_dnnopt(problem, budget, seed, engine=None, **kw):
+    defaults = dict(n_init=8, n_elite=5, critic_epochs=5, actor_epochs=5,
+                    critic_hidden=(16, 16), actor_hidden=(16, 16),
+                    max_pseudo=500, engine=engine)
+    defaults.update(kw)
+    return DNNOpt(problem, budget, seed, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Engine-level behaviour
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_matches_direct_evaluation(backend):
+    problem = Sphere(4)
+    rng = np.random.default_rng(0)
+    X = problem.space.sample(rng, 13)
+    expected = problem.evaluate_batch(X)
+    with EvalEngine(backend, workers=3) as engine:
+        np.testing.assert_array_equal(engine.evaluate_batch(problem, X), expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rows_returned_in_input_order(backend):
+    problem = Sphere(2)
+    X = np.array([[3.0, 0.0], [0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [0.5, 0.5]])
+    with EvalEngine(backend, workers=2) as engine:
+        F = engine.evaluate_batch(problem, X)
+    np.testing.assert_allclose(F[:, 0], (X ** 2).sum(axis=1))
+
+
+def test_cache_hit_never_reinvokes_simulator():
+    problem = CountingSphere(3)
+    engine = EvalEngine("serial")
+    rng = np.random.default_rng(1)
+    X = problem.space.sample(rng, 7)
+    F1 = engine.evaluate_batch(problem, X)
+    assert problem.calls == 7
+    F2 = engine.evaluate_batch(problem, X)  # same designs again
+    assert problem.calls == 7  # zero new simulations
+    assert engine.n_cache_hits == 7
+    np.testing.assert_array_equal(F1, F2)
+
+
+def test_in_batch_duplicates_simulated_once():
+    problem = CountingSphere(2)
+    engine = EvalEngine("serial")
+    x = np.array([1.0, 2.0])
+    F = engine.evaluate_batch(problem, np.vstack([x, x, x]))
+    assert problem.calls == 1
+    assert len(F) == 3
+    np.testing.assert_array_equal(F[0], F[1])
+    np.testing.assert_array_equal(F[0], F[2])
+
+
+def test_cache_disabled_reinvokes():
+    problem = CountingSphere(2)
+    engine = EvalEngine("serial", cache_size=0)
+    X = problem.space.sample(np.random.default_rng(2), 4)
+    engine.evaluate_batch(problem, X)
+    engine.evaluate_batch(problem, X)
+    assert problem.calls == 8
+    assert engine.n_cache_hits == 0
+
+
+def test_cache_lru_eviction():
+    problem = CountingSphere(1)
+    engine = EvalEngine("serial", cache_size=2)
+    a, b, c = np.array([[1.0]]), np.array([[2.0]]), np.array([[3.0]])
+    engine.evaluate_batch(problem, a)
+    engine.evaluate_batch(problem, b)
+    engine.evaluate_batch(problem, c)  # evicts a
+    engine.evaluate_batch(problem, a)
+    assert problem.calls == 4
+
+
+def test_cache_key_rounds_integer_dims():
+    # 1.1 and 0.9 both round to the same integer design -> one simulation.
+    from repro.problems import PressureVessel
+    problem = PressureVessel()
+    engine = EvalEngine("serial")
+    base = np.array([5.0, 5.0, 50.0, 100.0])
+    x1 = base.copy(); x1[0] = 5.1
+    x2 = base.copy(); x2[0] = 4.9
+    engine.evaluate_batch(problem, np.vstack([x1, x2]))
+    assert engine.n_sim_calls == 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        EvalEngine("gpu")
+    with pytest.raises(ValueError):
+        EvalEngine("thread", workers=0)
+    with pytest.raises(ValueError):
+        EvalEngine("serial", cache_size=-1)
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+# Optimizer wiring: histories are backend-independent, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_random_search_history_bit_identical(backend):
+    serial = RandomSearch(Sphere(3), 20, seed=5).run()
+    with EvalEngine(backend, workers=3) as engine:
+        parallel = RandomSearch(Sphere(3), 20, seed=5, engine=engine).run()
+    np.testing.assert_array_equal(serial.X, parallel.X)
+    np.testing.assert_array_equal(serial.F, parallel.F)
+    np.testing.assert_array_equal(serial.fom, parallel.fom)
+    np.testing.assert_array_equal(serial.feasible, parallel.feasible)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_batched_dnnopt_history_bit_identical(backend):
+    problem_factory = lambda: ConstrainedSphere(3)
+    serial = small_dnnopt(problem_factory(), 18, seed=7, batch_size=3).run()
+    with EvalEngine(backend, workers=2) as engine:
+        parallel = small_dnnopt(problem_factory(), 18, seed=7, batch_size=3,
+                                engine=engine).run()
+    np.testing.assert_array_equal(serial.X, parallel.X)
+    np.testing.assert_array_equal(serial.F, parallel.F)
+    np.testing.assert_array_equal(serial.fom, parallel.fom)
+
+
+def test_engine_shared_across_optimizers_caches_duplicates():
+    # Two same-seed runs on one engine: the second run's queries are all
+    # cache hits, so the problem only simulates once per unique design.
+    problem = CountingSphere(2)
+    engine = EvalEngine("serial")
+    h1 = RandomSearch(problem, 12, seed=9, engine=engine).run()
+    calls_after_first = problem.calls
+    h2 = RandomSearch(problem, 12, seed=9, engine=engine).run()
+    assert problem.calls == calls_after_first
+    np.testing.assert_array_equal(h1.X, h2.X)
