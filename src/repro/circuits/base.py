@@ -62,7 +62,19 @@ class SizingCircuit(ABC):
         return {v.name: 0.5 * (v.lower + v.upper) for v in self.variables()}
 
     def space(self) -> DesignSpace:
-        return DesignSpace(self.variables())
+        """The design space (built once and cached).
+
+        ``space()`` sits inside every optimizer's rounding/caching path, so
+        the variable list is materialized a single time per circuit object.
+        Testbench netlists, by contrast, are rebuilt per evaluation — each
+        ``build()`` returns a fresh :class:`~repro.spice.netlist.Circuit`
+        whose compiled form (and its baked stamping plan) is cached on the
+        circuit object itself, shared by every analysis in that evaluation.
+        """
+        cached = getattr(self, "_space_cache", None)
+        if cached is None:
+            cached = self._space_cache = DesignSpace(self.variables())
+        return cached
 
     def problem(self) -> "CircuitSizingProblem":
         """The optimization problem for this circuit."""

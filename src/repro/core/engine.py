@@ -13,6 +13,12 @@ Every optimizer in this package funnels its simulator queries through an
   a collapsed elite region, integer rounding, or repeated trials on the same
   engine) never pays for a second simulation.
 
+The engine also snapshots the simulator's hot-path counters
+(:mod:`repro.spice.profile`) around every dispatch, so
+:meth:`EvalEngine.hotpath_report` can break simulation time into
+assemble / solve / AC-solve / overhead phases — the numbers
+``benchmarks/bench_spice_hotpath.py`` tracks across PRs.
+
 All backends return rows in input order, so an optimizer's history is
 bit-identical no matter which backend ran the batch — the determinism and
 regression tests in ``tests/core/test_eval_engine.py`` pin this contract.
@@ -30,10 +36,23 @@ import hashlib
 import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
 
 import numpy as np
 
 __all__ = ["EvalEngine", "default_workers"]
+
+#: hot-path phases reported by :meth:`EvalEngine.hotpath_report`
+_PHASES = ("assemble_s", "solve_s", "ac_build_s", "ac_solve_s")
+
+
+def _spice_counters():
+    """The simulator's process-global counters (None when spice is absent)."""
+    try:
+        from repro.spice import profile
+    except ImportError:  # pragma: no cover - spice is a hard dep in practice
+        return None
+    return profile
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -97,6 +116,11 @@ class EvalEngine:
         self._executor_problem = None  # problem the process pool was built for
         self.n_sim_calls = 0   # designs actually dispatched to the simulator
         self.n_cache_hits = 0  # designs answered from the cache
+        # Per-phase hot-path breakdown, accumulated from the simulator's
+        # counters around each dispatch (serial/thread backends only: a
+        # process pool's counters live in its workers).
+        self.dispatch_seconds = 0.0
+        self.phase_counters: dict[str, float] = {}
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -149,7 +173,14 @@ class EvalEngine:
                 pending_rows.append(x)
 
         if pending_rows:
+            profile = _spice_counters()
+            before = profile.snapshot() if profile is not None else None
+            t0 = perf_counter()
             fresh = self._dispatch(problem, np.asarray(pending_rows))
+            self.dispatch_seconds += perf_counter() - t0
+            if before is not None:
+                for name, value in profile.delta(before).items():
+                    self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
             self.n_sim_calls += len(pending_rows)
             for key, row in zip(pending_keys, fresh):
                 key_to_row[key] = row
@@ -225,6 +256,26 @@ class EvalEngine:
                 initargs=(problem,), **kwargs)
             self._executor_problem = problem
         return self._executor
+
+    # -- hot-path reporting ------------------------------------------------
+    def hotpath_report(self) -> dict[str, float]:
+        """Assemble/solve/overhead breakdown of the simulator time dispatched
+        through this engine.
+
+        ``overhead_s`` is dispatch wall-clock not attributed to a counted
+        phase (testbench logic, waveform post-processing, engine/pool
+        overhead).  With the ``process`` backend the per-phase counters stay
+        in the workers, so only ``dispatch_s`` is meaningful there.
+        """
+        report = {name: self.phase_counters.get(name, 0.0) for name in _PHASES}
+        report["newton_iterations"] = self.phase_counters.get("newton_iterations", 0.0)
+        report["newton_solves"] = self.phase_counters.get("newton_solves", 0.0)
+        report["ac_solves"] = self.phase_counters.get("ac_solves", 0.0)
+        report["dispatch_s"] = self.dispatch_seconds
+        report["overhead_s"] = max(
+            0.0, self.dispatch_seconds - sum(report[name] for name in _PHASES))
+        report["n_sim_calls"] = float(self.n_sim_calls)
+        return report
 
     def __repr__(self) -> str:
         return (f"EvalEngine(backend={self.backend!r}, workers={self.workers}, "

@@ -42,10 +42,12 @@ from .devices import (
     Sin,
     VoltageSource,
 )
+from . import profile
 from .errors import AnalysisError, ConvergenceError, NetlistError, SpiceError
 from .netlist import Circuit, CompiledCircuit
 from .netlist_io import BUNDLED_MODELS, parse_netlist, write_netlist
 from .parasitics import ParasiticEstimator, estimate_parasitics
+from .plan import StampPlan, set_stamping_mode, stamping, stamping_mode
 from .units import format_eng, parse_value
 
 __all__ = [
@@ -94,4 +96,9 @@ __all__ = [
     "estimate_parasitics",
     "parse_value",
     "format_eng",
+    "StampPlan",
+    "stamping",
+    "stamping_mode",
+    "set_stamping_mode",
+    "profile",
 ]

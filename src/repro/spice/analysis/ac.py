@@ -3,25 +3,102 @@
 The circuit is linearized around a previously computed operating point; the
 complex system ``(G + j omega C) x = rhs`` is solved at each frequency, with
 the stimulus taken from the ``ac`` magnitude of independent sources.
+
+Hot-path notes: the analysis reuses the compiled circuit carried by the
+operating point (no recompilation per analysis), caches the linearized
+``(G, C)`` matrices on the operating point across analyses (testbenches run
+several AC/noise analyses at one bias, retargeting only source ``ac``
+magnitudes, so only the rhs is rebuilt), and solves all sweep frequencies
+as one stacked ``(n_freq, n, n)`` batched :func:`numpy.linalg.solve` call.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from .. import profile
 from ..errors import AnalysisError
 from ..mna import ACSystem
+from ..plan import stamping_mode
 
 __all__ = ["ACResult", "ac_analysis", "build_smallsignal"]
+
+
+def _stamp_matrices(sys: ACSystem, compiled, xop: np.ndarray) -> None:
+    """Stamp every device's linearization into ``sys.G``/``sys.C``."""
+    t0 = perf_counter()
+    for device, idx in compiled.devices_with_indices():
+        device.stamp_smallsignal(sys, xop, idx)
+    profile.add("ac_build_s", perf_counter() - t0)
+
+
+def _stamp_rhs(sys: ACSystem, compiled) -> None:
+    """(Re)build the AC stimulus from the sources' current ``ac`` values."""
+    sys.rhs[:] = 0.0
+    for device, idx in compiled.devices_with_indices():
+        device.stamp_ac_rhs(sys, idx)
 
 
 def build_smallsignal(compiled, xop: np.ndarray) -> ACSystem:
     """Assemble the linearized G and C matrices (and AC stimulus) at ``xop``."""
     sys = ACSystem(compiled.size)
-    for device, idx in compiled.devices_with_indices():
-        device.stamp_smallsignal(sys, xop, idx)
-        device.stamp_ac_rhs(sys, idx)
+    _stamp_matrices(sys, compiled, xop)
+    _stamp_rhs(sys, compiled)
     return sys
+
+
+def _resolve_compiled(circuit, op):
+    """The compiled circuit backing ``op`` — recompile only if the caller
+    passed a *different* circuit object than the one the OP was solved on."""
+    compiled = op.compiled
+    if circuit is not None and compiled.circuit is not circuit:
+        compiled = circuit.compile()
+    return compiled
+
+
+def _smallsignal_for(op, compiled) -> ACSystem:
+    """Linearized system at ``op``, with (G, C) cached on the operating point.
+
+    The AC stimulus is rebuilt on every call because testbenches retarget
+    source ``ac`` magnitudes between analyses (e.g. CMRR/PSRR spur paths)
+    while G and C depend only on the bias solution.
+    """
+    if stamping_mode() != "plan" or compiled is not op.compiled:
+        return build_smallsignal(compiled, op.x)
+    sys = getattr(op, "_smallsignal", None)
+    if sys is None:
+        sys = ACSystem(compiled.size)
+        _stamp_matrices(sys, compiled, op.x)
+        op._smallsignal = sys
+    _stamp_rhs(sys, compiled)
+    return sys
+
+
+def _solve_frequencies(sys: ACSystem, freqs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``(G + j omega C) x = rhs`` over all frequencies.
+
+    Plan mode stacks the matrices into one ``(n_freq, n, n)`` array and makes
+    a single batched solve call; legacy mode keeps the per-frequency loop.
+    """
+    n = sys.size
+    omegas = 2.0 * np.pi * freqs
+    t0 = perf_counter()
+    if stamping_mode() == "plan":
+        if len(freqs):
+            matrices = sys.G[None, :, :] + 1j * omegas[:, None, None] * sys.C[None, :, :]
+            stacked = np.repeat(rhs[None, :, None].astype(complex), len(freqs), axis=0)
+            solutions = np.linalg.solve(matrices, stacked)[:, :, 0]
+        else:
+            solutions = np.zeros((0, n), dtype=complex)
+    else:
+        solutions = np.zeros((len(freqs), n), dtype=complex)
+        for row, omega in enumerate(omegas):
+            solutions[row] = np.linalg.solve(sys.matrix(omega), rhs)
+    profile.add("ac_solve_s", perf_counter() - t0)
+    profile.add("ac_solves", len(freqs))
+    return solutions
 
 
 class ACResult:
@@ -48,12 +125,9 @@ def ac_analysis(circuit, op, freqs) -> ACResult:
     freqs = np.asarray(freqs, dtype=np.float64)
     if np.any(freqs < 0):
         raise AnalysisError("frequencies must be non-negative")
-    compiled = circuit.compile()
-    sys = build_smallsignal(compiled, op.x)
+    compiled = _resolve_compiled(circuit, op)
+    sys = _smallsignal_for(op, compiled)
     if not np.any(np.abs(sys.rhs) > 0):
         raise AnalysisError("AC analysis needs at least one source with ac != 0")
-    solutions = np.zeros((len(freqs), compiled.size), dtype=complex)
-    for row, freq in enumerate(freqs):
-        matrix = sys.matrix(2.0 * np.pi * freq)
-        solutions[row] = np.linalg.solve(matrix, sys.rhs)
+    solutions = _solve_frequencies(sys, freqs, sys.rhs)
     return ACResult(compiled, freqs, solutions)

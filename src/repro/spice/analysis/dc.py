@@ -6,7 +6,8 @@ import numpy as np
 
 from ..devices.sources import DC, CurrentSource, VoltageSource
 from ..errors import AnalysisError
-from .op import OperatingPoint, operating_point
+from ..solver import solve_dc
+from .op import OperatingPoint, _assemble_factory
 
 __all__ = ["DCSweepResult", "dc_sweep"]
 
@@ -49,15 +50,17 @@ def dc_sweep(circuit, source_name: str, values) -> DCSweepResult:
     compiled = circuit.compile()
     compiled.check_dc_connectivity()
 
+    # One compiled circuit and one assembly closure serve the whole sweep
+    # (the stamping plan re-reads the swapped-in DC level every assembly).
+    assemble = _assemble_factory(compiled)
     original = source.waveform
     solutions = np.zeros((len(values), compiled.size))
     x_prev = None
     try:
         for row, value in enumerate(values):
             source.waveform = DC(value)
-            op = operating_point(circuit, x0=x_prev, check=False)
-            solutions[row] = op.x
-            x_prev = op.x
+            x_prev = solve_dc(compiled, assemble, x_prev)
+            solutions[row] = x_prev
     finally:
         source.waveform = original
     return DCSweepResult(compiled, values, solutions)

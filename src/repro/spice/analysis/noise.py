@@ -14,10 +14,14 @@ source.  Total RMS noise integrates the PSD over the analysis band.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from .. import profile
 from ..errors import AnalysisError
-from .ac import build_smallsignal
+from ..plan import stamping_mode
+from .ac import _resolve_compiled, _smallsignal_for
 
 __all__ = ["NoiseResult", "noise_analysis"]
 
@@ -77,8 +81,8 @@ def noise_analysis(circuit, op, freqs, output: str | tuple[str, str], *,
     compute the gain for input referral.
     """
     freqs = np.asarray(freqs, dtype=np.float64)
-    compiled = circuit.compile()
-    sys = build_smallsignal(compiled, op.x)
+    compiled = _resolve_compiled(circuit, op)
+    sys = _smallsignal_for(op, compiled)
 
     if isinstance(output, tuple):
         out_p = compiled.node(output[0])
@@ -102,13 +106,19 @@ def noise_analysis(circuit, op, freqs, output: str | tuple[str, str], *,
     if want_gain and not np.any(np.abs(sys.rhs) > 0):
         raise AnalysisError(f"input source {input_source!r} must have ac != 0")
 
+    if stamping_mode() == "plan":
+        return _noise_batched(sys, compiled, freqs, e_out, sources, want_gain)
+
     output_psd = np.zeros(len(freqs))
     contributions = {src.name: np.zeros(len(freqs)) for src in sources}
     gain = np.zeros(len(freqs), dtype=complex) if want_gain else None
 
     for row, freq in enumerate(freqs):
         matrix = sys.matrix(2.0 * np.pi * freq)
+        t0 = perf_counter()
         adjoint = np.linalg.solve(matrix.T, e_out.astype(complex))
+        profile.add("ac_solve_s", perf_counter() - t0)
+        profile.add("ac_solves", 1)
         for src in sources:
             yp = adjoint[src.node_plus] if src.node_plus >= 0 else 0.0
             ym = adjoint[src.node_minus] if src.node_minus >= 0 else 0.0
@@ -117,7 +127,59 @@ def noise_analysis(circuit, op, freqs, output: str | tuple[str, str], *,
             contributions[src.name][row] = contribution
             output_psd[row] += contribution
         if want_gain:
+            t0 = perf_counter()
             response = np.linalg.solve(matrix, sys.rhs)
+            profile.add("ac_solve_s", perf_counter() - t0)
+            profile.add("ac_solves", 1)
             gain[row] = e_out @ response
 
     return NoiseResult(freqs, output_psd, contributions, gain)
+
+
+def _noise_batched(sys, compiled, freqs: np.ndarray, e_out: np.ndarray,
+                   sources, want_gain: bool) -> NoiseResult:
+    """All frequencies at once: one stacked adjoint solve ``A^T y = e_out``
+    (plus one forward solve for the gain), then vectorized transfer-impedance
+    and PSD accumulation over the noise sources."""
+    n_freq = len(freqs)
+    size = compiled.size
+    omegas = 2.0 * np.pi * freqs
+    matrices = sys.G[None, :, :] + 1j * omegas[:, None, None] * sys.C[None, :, :]
+
+    t0 = perf_counter()
+    if n_freq:
+        rhs_adj = np.repeat(e_out[None, :, None].astype(complex), n_freq, axis=0)
+        adjoint = np.linalg.solve(matrices.transpose(0, 2, 1), rhs_adj)[:, :, 0]
+    else:
+        adjoint = np.zeros((0, size), dtype=complex)
+    gain = None
+    if want_gain:
+        if n_freq:
+            rhs = np.repeat(sys.rhs[None, :, None].astype(complex), n_freq, axis=0)
+            gain = np.linalg.solve(matrices, rhs)[:, :, 0] @ e_out
+        else:
+            gain = np.zeros(0, dtype=complex)
+    profile.add("ac_solve_s", perf_counter() - t0)
+    profile.add("ac_solves", (2 if want_gain else 1) * n_freq)
+
+    # Transfer impedances: index the adjoint with ground mapped to a zero slot.
+    adjoint_aug = np.concatenate(
+        [adjoint, np.zeros((n_freq, 1), dtype=complex)], axis=1)
+    plus = np.array([src.node_plus for src in sources], dtype=np.intp)
+    minus = np.array([src.node_minus for src in sources], dtype=np.intp)
+    yp = adjoint_aug[:, np.where(plus < 0, size, plus)]
+    ym = adjoint_aug[:, np.where(minus < 0, size, minus)]
+    h_squared = np.abs(ym - yp) ** 2                       # (n_freq, n_src)
+
+    # Per-source PSDs over the whole grid; the NoiseSource contract lets
+    # ``psd`` broadcast over an ndarray of frequencies (constant PSDs may
+    # return a scalar).
+    psd = np.empty((n_freq, len(sources)))
+    for col, src in enumerate(sources):
+        psd[:, col] = np.broadcast_to(
+            np.asarray(src.psd(freqs), dtype=np.float64), freqs.shape)
+
+    contribution = h_squared * psd
+    contributions = {src.name: contribution[:, col]
+                     for col, src in enumerate(sources)}
+    return NoiseResult(freqs, contribution.sum(axis=1), contributions, gain)

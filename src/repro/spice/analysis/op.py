@@ -7,17 +7,25 @@ import numpy as np
 from ..devices.mosfet import MOSFET
 from ..devices.sources import VoltageSource
 from ..mna import System
+from ..plan import stamping_mode
 from ..solver import solve_dc
 
 __all__ = ["OperatingPoint", "operating_point"]
 
 
 class OperatingPoint:
-    """Converged DC solution with convenience accessors."""
+    """Converged DC solution with convenience accessors.
+
+    Device accessors use the compiled circuit's name->(device, index) map,
+    so ``mosfet_op``/``source_power`` are O(1) instead of scanning the
+    netlist — they sit inside testbench measurement loops.
+    """
 
     def __init__(self, compiled, x: np.ndarray):
         self.compiled = compiled
         self.x = x
+        #: cached small-signal (G, C) assembly, owned by the AC analysis
+        self._smallsignal = None
 
     def v(self, node: str) -> float:
         """DC voltage of ``node``."""
@@ -29,36 +37,51 @@ class OperatingPoint:
 
     def source_power(self, vsource: str) -> float:
         """Power *delivered by* the source (positive for a supply)."""
-        for device, idx in self.compiled.devices_with_indices():
-            if device.name == vsource and isinstance(device, VoltageSource):
-                return -device.voltage_at(None) * self.x[idx.branches[0]]
-        raise KeyError(vsource)
+        entry = self.compiled.device_map.get(vsource)
+        if entry is None or not isinstance(entry[0], VoltageSource):
+            raise KeyError(vsource)
+        device, idx = entry
+        return -device.voltage_at(None) * self.x[idx.branches[0]]
 
     def total_supply_power(self, prefix: str = "VDD") -> float:
         """Sum of delivered power over all sources whose name starts with ``prefix``."""
         total = 0.0
-        for device, idx in self.compiled.devices_with_indices():
-            if isinstance(device, VoltageSource) and device.name.startswith(prefix):
+        for device, idx in self.compiled.vsource_entries:
+            if device.name.startswith(prefix):
                 total += -device.voltage_at(None) * self.x[idx.branches[0]]
         return total
 
     def mosfet_op(self, name: str):
         """Small-signal operating record of MOSFET ``name``."""
-        for device, idx in self.compiled.devices_with_indices():
-            if device.name == name and isinstance(device, MOSFET):
-                return device.operating_point(self.x, idx)
-        raise KeyError(name)
+        entry = self.compiled.device_map.get(name)
+        if entry is None or not isinstance(entry[0], MOSFET):
+            raise KeyError(name)
+        device, idx = entry
+        return device.operating_point(self.x, idx)
 
     def mosfet_ops(self) -> dict:
         """Operating records for every MOSFET, keyed by device name."""
-        ops = {}
-        for device, idx in self.compiled.devices_with_indices():
-            if isinstance(device, MOSFET):
-                ops[device.name] = device.operating_point(self.x, idx)
-        return ops
+        return {device.name: device.operating_point(self.x, idx)
+                for device, idx in self.compiled.mosfet_entries}
 
 
 def _assemble_factory(compiled):
+    """The Newton ``assemble(x, gmin, source_scale)`` closure.
+
+    The default implementation delegates to the compiled stamping plan
+    (baked linear Jacobian + vectorized nonlinear scatter into a reused
+    workspace); the legacy mode re-stamps every device through per-entry
+    Python calls and is kept as the numerical reference.
+    """
+    if stamping_mode() == "plan":
+        plan = compiled.plan()
+
+        def assemble(x, gmin, source_scale):
+            return plan.assemble_static(x, gmin=gmin, source_scale=source_scale,
+                                        time=None)
+
+        return assemble
+
     def assemble(x, gmin, source_scale):
         sys = System(compiled.size)
         sys.source_scale = source_scale

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..errors import AnalysisError, ConvergenceError
 from ..mna import System
+from ..plan import stamping_mode
 from ..solver import newton_solve
 from .op import nodeset_vector, operating_point
 
@@ -74,21 +75,30 @@ def transient(circuit, tstep: float, tstop: float, *, uic: bool = False,
         op_x0 = nodeset_vector(circuit, ics) if ics else None
         x = operating_point(circuit, x0=op_x0, check=False).x.copy()
 
-    # Per-device integration state.
-    states = [device.init_state(x, idx) for device, idx in compiled.devices_with_indices()]
+    # Integration state + per-step assembly.  The plan path bakes the affine
+    # (linear + companion) part of each step once — Newton iterations inside
+    # a step are then pure vectorized work; the legacy path re-stamps every
+    # device per iteration and is kept as the numerical reference.
+    use_plan = stamping_mode() == "plan"
+    if use_plan:
+        plan = compiled.plan()
+        tstate = plan.init_transient(x)
+    else:
+        states = [device.init_state(x, idx)
+                  for device, idx in compiled.devices_with_indices()]
 
-    def assemble(xx, time, dt, method):
-        sys = System(compiled.size)
-        sys.time = time
-        for (device, idx), state in zip(compiled.devices_with_indices(), states):
-            device.stamp_static(sys, xx, idx)
-            if device.dynamic and state is not None:
-                device.stamp_dynamic(sys, xx, idx, state, dt, method)
-        # A tiny gmin keeps floating gate nodes well-conditioned mid-step.
-        for i in range(compiled.num_nodes):
-            sys.add_jac(i, i, 1e-12)
-            sys.add_res(i, 1e-12 * xx[i])
-        return sys
+        def assemble(xx, time, dt, method):
+            sys = System(compiled.size)
+            sys.time = time
+            for (device, idx), state in zip(compiled.devices_with_indices(), states):
+                device.stamp_static(sys, xx, idx)
+                if device.dynamic and state is not None:
+                    device.stamp_dynamic(sys, xx, idx, state, dt, method)
+            # A tiny gmin keeps floating gate nodes well-conditioned mid-step.
+            for i in range(compiled.num_nodes):
+                sys.add_jac(i, i, 1e-12)
+                sys.add_res(i, 1e-12 * xx[i])
+            return sys
 
     breakpoints = _collect_breakpoints(circuit, tstop)
     bp_iter = iter(breakpoints + [np.inf])
@@ -103,15 +113,25 @@ def transient(circuit, tstep: float, tstop: float, *, uic: bool = False,
 
     while t < tstop - 1e-15 * tstop:
         # Land exactly on breakpoints and tstop.
-        dt = min(dt, tstop - t)
+        remaining = tstop - t
+        if remaining <= dt_min:
+            # Within integration resolution of tstop: a sliver step this
+            # small only amplifies companion-conductance round-off
+            # (geq ~ C/dt) without advancing the solution.
+            break
+        dt = min(dt, remaining)
         hit_bp = False
         if next_bp - t <= dt * (1 + 1e-9):
             dt = max(next_bp - t, dt_min)
             hit_bp = True
 
         t_new = t + dt
-        result = newton_solve(lambda xx: assemble(xx, t_new, dt, method), x,
-                              max_iter=max_newton, vlimit=1.0)
+        if use_plan:
+            plan.begin_step(tstate, t_new, dt, method)
+            build = plan.assemble_transient
+        else:
+            build = lambda xx: assemble(xx, t_new, dt, method)  # noqa: E731
+        result = newton_solve(build, x, max_iter=max_newton, vlimit=1.0)
         if not result.converged:
             if dt <= dt_min * 2:
                 raise ConvergenceError(
@@ -120,9 +140,12 @@ def transient(circuit, tstep: float, tstop: float, *, uic: bool = False,
             continue
 
         x_new = result.x
-        for pos, (device, idx) in enumerate(compiled.devices_with_indices()):
-            if device.dynamic and states[pos] is not None:
-                states[pos] = device.update_state(x_new, idx, states[pos], dt, method)
+        if use_plan:
+            plan.advance(tstate, x_new, dt, method)
+        else:
+            for pos, (device, idx) in enumerate(compiled.devices_with_indices()):
+                if device.dynamic and states[pos] is not None:
+                    states[pos] = device.update_state(x_new, idx, states[pos], dt, method)
         x = x_new
         t = t_new
         times.append(t)

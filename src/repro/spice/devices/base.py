@@ -16,6 +16,35 @@ convention throughout the package:
 Dynamic (charge/flux-storage) devices additionally implement transient
 companion stamps and keep per-device integration state supplied by the
 transient analysis.
+
+Stamping-plan contract
+----------------------
+The compiled stamping plan (:mod:`repro.spice.plan`) bakes per-circuit
+assembly programs instead of re-stamping every device each Newton
+iteration.  Device authors must uphold:
+
+* ``nonlinear = False`` promises that ``stamp_static`` is *affine in x with
+  a constant Jacobian*: the plan captures the Jacobian (and any constant
+  residual offset) once at ``x = 0`` and never calls ``stamp_static`` again.
+  Such devices must not read ``sys.time``/``sys.source_scale`` — except
+  independent sources (:class:`VoltageSource`/:class:`CurrentSource`), whose
+  level terms the plan re-reads on every assembly (so ``dc_sweep`` waveform
+  swaps and source-stepping homotopy keep working).
+* ``stamp_dynamic`` must be affine in ``x`` for a fixed integration state:
+  the plan captures it once per transient step (at ``x = 0``) and reuses the
+  result for every Newton iteration within the step.  All companion models
+  (conductance + history current) satisfy this by construction.
+* ``nonlinear = True`` devices are re-evaluated every iteration.  The exact
+  classes :class:`MOSFET` and :class:`Diode` run through vectorized batch
+  evaluators; any other nonlinear class falls back to its per-device
+  ``stamp_static`` (correct, just not vectorized).
+* ``NoiseSource.psd`` must broadcast over an ndarray of frequencies
+  (returning a scalar for a flat PSD is fine) — the batched noise analysis
+  evaluates the whole grid in one call.
+
+Mutating a compiled circuit's device *values* (geometry, R/C/L, gains)
+invalidates the baked plan; add/remove devices through :class:`Circuit`,
+which recompiles, or rebuild the netlist.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ Current-controlled sources reference the branch current of a named
 :class:`~repro.spice.devices.sources.VoltageSource`, following classic SPICE
 usage; the sense-source branch index is resolved at compile time and passed
 in ``idx.branches`` after the device's own branches.
+
+All four are linear with gains frozen after compile, so their stamps live
+entirely in the plan's baked ``J_lin`` (stamping-plan contract: see
+``devices/base.py``).
 """
 
 from __future__ import annotations

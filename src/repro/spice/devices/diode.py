@@ -23,6 +23,8 @@ class Diode(Device):
         self.i_s = float(i_s)
         self.n = float(n)
         self.cj0 = float(cj0)
+        # _vte/_vcrit are frozen at construction and shared with the plan's
+        # vectorized diode batch (repro.spice.plan._DiodeBatch).
         self._vte = self.n * _THERMAL_VOLTAGE
         # Critical voltage above which the exponential is linearized to keep
         # Newton iterates finite (standard SPICE pnjlim-style safeguard).

@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .base import TRAP_THETA, Device, DeviceIndex, NoiseSource
 from .passives import BOLTZMANN, ROOM_TEMPERATURE
 
@@ -317,8 +319,10 @@ class MOSFET(Device):
         flicker_num = self.model.kf * abs(op.ids) ** self.model.af
         flicker_den = self.model.cox * self.l * self.l
 
-        def psd(freq: float) -> float:
-            flicker = flicker_num / (flicker_den * max(freq, 1e-3))
+        def psd(freq):
+            # np.maximum keeps the PSD broadcastable over a frequency grid
+            # (the batched noise analysis evaluates all frequencies at once).
+            flicker = flicker_num / (flicker_den * np.maximum(freq, 1e-3))
             return thermal + flicker
 
         return [NoiseSource(f"{self.name}:channel", d, s, psd)]

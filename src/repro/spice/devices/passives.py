@@ -1,4 +1,10 @@
-"""Passive elements: resistor, capacitor, inductor."""
+"""Passive elements: resistor, capacitor, inductor.
+
+All three are linear (``nonlinear = False``), so the stamping plan bakes
+their static stamps once per compiled circuit; exact-class capacitors get
+vectorized transient companions, while inductors (branch-equation
+companions) go through the generic per-step affine capture.
+"""
 
 from __future__ import annotations
 

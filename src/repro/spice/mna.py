@@ -4,6 +4,14 @@ Two workspaces are provided: :class:`System` for real Newton iterations
 (DC/transient) and :class:`ACSystem` for complex small-signal analyses.
 Both drop contributions to the ground index ``-1`` so devices never need to
 special-case ground connections.
+
+Workspaces are designed to be *reused*: the compiled stamping plan
+(:mod:`repro.spice.plan`) allocates one :class:`System` per circuit and
+overwrites ``J``/``f`` in place every Newton iteration instead of
+allocating a fresh container, and the AC analyses cache one
+:class:`ACSystem` per operating point (rebuilding only ``rhs``).  Consumers
+must therefore treat a returned workspace as valid only until the next
+assembly call on the same circuit.
 """
 
 from __future__ import annotations

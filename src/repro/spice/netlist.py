@@ -64,6 +64,20 @@ class CompiledCircuit:
                 branches = branches + (sense,)
             self.indices.append(DeviceIndex(nodes=nodes, branches=branches))
 
+        # O(1) name lookups and per-class device lists, built once so hot
+        # accessors (OperatingPoint.mosfet_op, source_power, ...) never scan
+        # the device list.  Names are unique within a circuit (Circuit.add).
+        self.device_map: dict[str, tuple[Device, DeviceIndex]] = {
+            device.name: (device, idx)
+            for device, idx in zip(circuit.devices, self.indices)}
+        self.mosfet_entries: list[tuple[MOSFET, DeviceIndex]] = [
+            (device, idx) for device, idx in self.devices_with_indices()
+            if isinstance(device, MOSFET)]
+        self.vsource_entries: list[tuple[VoltageSource, DeviceIndex]] = [
+            (device, idx) for device, idx in self.devices_with_indices()
+            if isinstance(device, VoltageSource)]
+        self._plan = None
+
     def _node(self, name: str) -> int:
         if name in GROUND_NAMES:
             return -1
@@ -108,6 +122,21 @@ class CompiledCircuit:
 
     def devices_with_indices(self):
         return zip(self.circuit.devices, self.indices)
+
+    def plan(self):
+        """The compiled :class:`~repro.spice.plan.StampPlan` (built lazily).
+
+        The plan bakes linear-device stamps and nonlinear scatter indices, so
+        it must be rebuilt whenever the netlist changes — which happens
+        automatically because ``Circuit.add`` invalidates the compiled
+        circuit itself.  Post-compile mutation of linear device *values*
+        (other than independent-source levels, which are re-read on every
+        assembly) is outside the stamping-plan contract.
+        """
+        if self._plan is None:
+            from .plan import StampPlan
+            self._plan = StampPlan(self)
+        return self._plan
 
 
 class Circuit:

@@ -12,9 +12,11 @@ Robustness features mirror production SPICE engines:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from . import profile
 from .errors import ConvergenceError
 from .mna import System
 
@@ -43,8 +45,13 @@ def newton_solve(build, x0: np.ndarray, *, max_iter: int = 100, abstol: float = 
     x = np.array(x0, dtype=np.float64, copy=True)
     iterations = 0
     residual = np.inf
+    profile.add("newton_solves", 1)
     for iterations in range(1, max_iter + 1):
+        profile.add("newton_iterations", 1)
+        t0 = perf_counter()
         sys = build(x)
+        t1 = perf_counter()
+        profile.add("assemble_s", t1 - t0)
         residual = float(np.max(np.abs(sys.f))) if sys.f.size else 0.0
         try:
             dx = np.linalg.solve(sys.J, -sys.f)
@@ -52,6 +59,7 @@ def newton_solve(build, x0: np.ndarray, *, max_iter: int = 100, abstol: float = 
             # Singular Jacobian: fall back to least squares with tiny ridge.
             ridge = sys.J + 1e-12 * np.eye(sys.size)
             dx, *_ = np.linalg.lstsq(ridge, -sys.f, rcond=None)
+        profile.add("solve_s", perf_counter() - t1)
         if not np.all(np.isfinite(dx)):
             return NewtonResult(x, False, iterations, residual)
         step = float(np.max(np.abs(dx))) if dx.size else 0.0

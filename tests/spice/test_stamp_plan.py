@@ -1,0 +1,216 @@
+"""Numerical equivalence of the compiled stamping plans vs the legacy path.
+
+The plan path (baked linear Jacobian, vectorized MOSFET/diode scatter,
+per-step affine transient companions, batched AC/noise solves) must produce
+the same physics as the legacy per-device restamp loop.  The two paths sum
+identical per-device stamps in different orders, so agreement is pinned at
+assembly level to summation round-off and at analysis level to 1e-12-class
+tolerances (converged Newton solutions are one quadratic step past the
+1e-9 update tolerance; transient trajectories accumulate round-off over
+hundreds of steps, bounded here at the measurement level).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FoldedCascodeOTA, StrongArmLatch
+from repro.core.engine import EvalEngine
+from repro.spice import (
+    Circuit,
+    ac_analysis,
+    dc_sweep,
+    noise_analysis,
+    operating_point,
+    stamping,
+    transient,
+)
+from repro.spice.analysis.op import _assemble_factory
+
+
+def _assembled(compiled, x, gmin, scale, mode):
+    with stamping(mode):
+        sys = _assemble_factory(compiled)(x, gmin, scale)
+        return sys.J.copy(), sys.f.copy()
+
+
+def _diode_rc_circuit():
+    c = Circuit("diode_rc")
+    c.vsource("V1", "in", "0", 1.5, ac=1.0)
+    c.resistor("R1", "in", "a", 1e3)
+    c.diode("D1", "a", "out", i_s=2e-14, n=1.1, cj0=10e-15)
+    c.resistor("R2", "out", "0", 5e3)
+    c.capacitor("C1", "out", "0", 2e-12)
+    return c
+
+
+ASSEMBLY_CIRCUITS = [
+    ("folded_cascode", lambda: FoldedCascodeOTA().build(FoldedCascodeOTA().nominal())),
+    ("strongarm", lambda: StrongArmLatch().build(StrongArmLatch().nominal())),
+    ("diode_rc", _diode_rc_circuit),
+]
+
+
+@pytest.mark.parametrize("name,builder", ASSEMBLY_CIRCUITS, ids=[n for n, _ in ASSEMBLY_CIRCUITS])
+def test_assembled_system_matches_legacy(name, builder):
+    """J and f agree entrywise at random iterates, gmins and source scales."""
+    circuit = builder()
+    compiled = circuit.compile()
+    rng = np.random.default_rng(7)
+    for gmin, scale in ((0.0, 1.0), (1e-6, 1.0), (1e-9, 0.35)):
+        x = rng.normal(0.6, 0.8, compiled.size)
+        J_legacy, f_legacy = _assembled(compiled, x, gmin, scale, "legacy")
+        J_plan, f_plan = _assembled(compiled, x, gmin, scale, "plan")
+        np.testing.assert_allclose(J_plan, J_legacy, rtol=1e-10, atol=1e-13)
+        scale_f = max(1.0, np.abs(f_legacy).max())
+        np.testing.assert_allclose(f_plan, f_legacy, rtol=1e-10,
+                                   atol=1e-12 * scale_f)
+
+
+def test_folded_cascode_dc_ac_noise_match_legacy():
+    fc = FoldedCascodeOTA()
+    params = fc.nominal()
+    freqs = np.logspace(1, 9, 41)
+
+    amp_legacy = fc.build(params)
+    with stamping("legacy"):
+        op_l = operating_point(amp_legacy, nodeset=fc._nodeset())
+        ac_l = ac_analysis(amp_legacy, op_l, freqs)
+        nz_l = noise_analysis(amp_legacy, op_l, freqs, "vout", input_source="VIP")
+    amp_plan = fc.build(params)
+    with stamping("plan"):
+        op_p = operating_point(amp_plan, nodeset=fc._nodeset())
+        ac_p = ac_analysis(amp_plan, op_p, freqs)
+        nz_p = noise_analysis(amp_plan, op_p, freqs, "vout", input_source="VIP")
+
+    np.testing.assert_allclose(op_p.x, op_l.x, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(ac_p.solutions, ac_l.solutions,
+                               rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(nz_p.output_psd, nz_l.output_psd,
+                               rtol=1e-9, atol=0)
+    np.testing.assert_allclose(nz_p.gain, nz_l.gain, rtol=1e-9, atol=1e-12)
+
+
+def test_folded_cascode_measure_matches_legacy():
+    """Full evaluation loop (OP + AC + spurs + noise + transient settling)."""
+    fc = FoldedCascodeOTA()
+    params = fc.nominal()
+    with stamping("legacy"):
+        legacy = fc.measure(params)
+    with stamping("plan"):
+        plan = fc.measure(params)
+    assert set(plan) == set(legacy)
+    for key in legacy:
+        assert plan[key] == pytest.approx(legacy[key], rel=1e-9, abs=1e-12), key
+
+
+def test_strongarm_transient_matches_legacy():
+    """The regenerative latch transient: trajectories stay together to
+    round-off even through the positive-feedback resolution phase."""
+    latch = StrongArmLatch()
+    params = latch.nominal()
+    with stamping("legacy"):
+        legacy = latch.measure(params)
+    with stamping("plan"):
+        plan = latch.measure(params)
+    assert set(plan) == set(legacy)
+    for key in legacy:
+        # Reset-residual metrics are ~1e-9 V differences of rail-level
+        # signals, so agreement there is absolute (round-off), not relative.
+        assert plan[key] == pytest.approx(legacy[key], rel=1e-6, abs=1e-12), key
+
+
+def test_transient_solutions_match_legacy_rc():
+    c_legacy = _diode_rc_circuit()
+    with stamping("legacy"):
+        tr_l = transient(c_legacy, 1e-9, 200e-9)
+    c_plan = _diode_rc_circuit()
+    with stamping("plan"):
+        tr_p = transient(c_plan, 1e-9, 200e-9)
+    np.testing.assert_allclose(tr_p.t, tr_l.t, rtol=0, atol=0)
+    np.testing.assert_allclose(tr_p.solutions, tr_l.solutions,
+                               rtol=1e-10, atol=1e-12)
+
+
+def test_dc_sweep_tracks_waveform_mutation():
+    """Regression: the plan re-reads source levels every assembly, so
+    dc_sweep's waveform swapping must flow through the baked plan."""
+    def build():
+        c = Circuit("divider")
+        c.vsource("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "mid", 1e3)
+        c.resistor("R2", "mid", "0", 1e3)
+        return c
+
+    values = np.linspace(0.0, 2.0, 9)
+    with stamping("plan"):
+        sweep = dc_sweep(build(), "V1", values)
+    # The Newton attempt carries a 1e-12 gmin to ground, loading the 1 kOhm
+    # divider by ~5e-10 relative — solver physics, not a plan artifact.
+    np.testing.assert_allclose(sweep.v("mid"), values / 2.0, rtol=1e-8, atol=1e-12)
+    with stamping("legacy"):
+        sweep_l = dc_sweep(build(), "V1", values)
+    np.testing.assert_allclose(sweep.solutions, sweep_l.solutions,
+                               rtol=1e-10, atol=1e-13)
+
+
+def test_optimizer_history_matches_legacy():
+    """End to end: identical optimizer histories through the EvalEngine."""
+    from repro.baselines import RandomSearch
+
+    problem_legacy = FoldedCascodeOTA().problem()
+    with stamping("legacy"):
+        hist_l = RandomSearch(problem_legacy, budget=4, seed=3,
+                              engine=EvalEngine()).run()
+    problem_plan = FoldedCascodeOTA().problem()
+    with stamping("plan"):
+        hist_p = RandomSearch(problem_plan, budget=4, seed=3,
+                              engine=EvalEngine()).run()
+    np.testing.assert_array_equal(np.asarray(hist_p.X), np.asarray(hist_l.X))
+    np.testing.assert_allclose(np.asarray(hist_p.F), np.asarray(hist_l.F),
+                               rtol=1e-7, atol=1e-12)
+
+
+def test_operating_point_lookups_match_scan():
+    """device_map-backed accessors agree with a manual netlist scan."""
+    fc = FoldedCascodeOTA()
+    amp = fc.build(fc.nominal())
+    op = operating_point(amp, nodeset=fc._nodeset())
+    compiled = op.compiled
+
+    from repro.spice.devices.mosfet import MOSFET
+    from repro.spice.devices.sources import VoltageSource
+
+    scan_ops = {dev.name: dev.operating_point(op.x, idx)
+                for dev, idx in compiled.devices_with_indices()
+                if isinstance(dev, MOSFET)}
+    fast_ops = op.mosfet_ops()
+    assert set(fast_ops) == set(scan_ops)
+    for name in scan_ops:
+        assert fast_ops[name].ids == scan_ops[name].ids
+        assert op.mosfet_op(name).gm == scan_ops[name].gm
+
+    for dev, idx in compiled.devices_with_indices():
+        if isinstance(dev, VoltageSource):
+            expected = -dev.voltage_at(None) * op.x[idx.branches[0]]
+            assert op.source_power(dev.name) == expected
+    with pytest.raises(KeyError):
+        op.mosfet_op("VDD")          # exists but is not a MOSFET
+    with pytest.raises(KeyError):
+        op.source_power("M1")        # exists but is not a voltage source
+    with pytest.raises(KeyError):
+        op.mosfet_op("NOPE")
+
+
+def test_engine_hotpath_report_accumulates():
+    problem = FoldedCascodeOTA().problem()
+    engine = EvalEngine()
+    x = np.array([FoldedCascodeOTA().nominal()[n] for n in problem.space.names])
+    engine.evaluate_batch(problem, x[None, :])
+    report = engine.hotpath_report()
+    assert report["n_sim_calls"] == 1
+    assert report["newton_iterations"] > 0
+    assert report["assemble_s"] > 0
+    assert report["solve_s"] > 0
+    assert report["ac_solves"] > 0
+    assert report["dispatch_s"] >= report["assemble_s"]
+    assert report["overhead_s"] >= 0.0
