@@ -24,23 +24,7 @@ from repro.baselines import RandomSearch
 from repro.circuits import FoldedCascodeOTA
 from repro.core import DNNOpt
 from repro.experiments import run_trials
-
-
-class _LatencyProblem:
-    """Wraps a problem, adding fixed per-evaluation latency (external sim)."""
-
-    def __init__(self, problem, latency_s: float):
-        self._problem = problem
-        self._latency_s = latency_s
-
-    def evaluate(self, x):
-        time.sleep(self._latency_s)
-        return self._problem.evaluate(x)
-
-    def __getattr__(self, name):
-        if name.startswith("_"):  # keep pickle/copy protocol lookups local
-            raise AttributeError(name)
-        return getattr(self._problem, name)
+from repro.problems import LatencyProblem
 
 
 def _factory(kind: str):
@@ -57,7 +41,7 @@ def bench(workers: int, *, budget: int, n_trials: int, latency_ms: float,
     def problem_factory():
         problem = FoldedCascodeOTA().problem()
         if latency_ms > 0:
-            problem = _LatencyProblem(problem, latency_ms / 1e3)
+            problem = LatencyProblem(problem, latency_ms / 1e3)
         return problem
 
     start = time.perf_counter()

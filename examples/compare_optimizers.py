@@ -3,14 +3,22 @@
 Runs DE, BO-wEI, GASPAD and DNN-Opt on the latch sizing problem and plots
 the average FoM convergence as ASCII (the paper's Figures 3/4).  Budgets are
 scaled down for a quick demonstration; set ``REPRO_FULL=1`` for the paper's
-protocol.  Independent trials can be spread over a process pool:
+protocol.  Independent trials can be spread over a process pool, and every
+trial's simulator queries can be routed through any evaluation backend —
+including a running multi-host evaluation service:
 
     python examples/compare_optimizers.py --workers 4 --trials 4
+    python -m repro.core.service --port 9101 &   # start shards first
+    python -m repro.core.service --port 9102 &
+    python examples/compare_optimizers.py --engine remote \
+        --hosts 127.0.0.1:9101,127.0.0.1:9102
 """
 
 import argparse
 
 from repro.circuits import StrongArmLatch
+from repro.core import EvalEngine
+from repro.core.engine import BACKENDS
 from repro.experiments import (
     ExperimentScale,
     render_fom_figure,
@@ -26,14 +34,31 @@ if __name__ == "__main__":
                         help="independent trials per algorithm")
     parser.add_argument("--budget", type=int, default=40,
                         help="simulation budget for the model-based methods")
+    parser.add_argument("--engine", choices=list(BACKENDS), default="serial",
+                        help="evaluation backend for every trial's simulator "
+                             "queries (default: serial)")
+    parser.add_argument("--hosts", default="",
+                        help="comma-separated host:port evaluation-service "
+                             "workers for --engine remote (default: "
+                             "REPRO_SERVICE_HOSTS)")
+    parser.add_argument("--engine-workers", type=int, default=None,
+                        help="pool size inside each trial's engine "
+                             "(thread/process/async backends)")
     args = parser.parse_args()
+
+    engine_factory = None
+    if args.engine != "serial":
+        hosts = [h for h in args.hosts.split(",") if h.strip()] or None
+        engine_factory = lambda: EvalEngine(args.engine, hosts=hosts,
+                                            workers=args.engine_workers)
 
     scale = ExperimentScale(n_trials=args.trials, budget=args.budget,
                             de_budget=3 * args.budget,
                             industrial_budget=args.budget,
                             sa_budget=max(100, 2 * args.budget))
     result = run_building_block_comparison(StrongArmLatch, scale=scale,
-                                           workers=args.workers, verbose=True)
+                                           workers=args.workers, verbose=True,
+                                           engine_factory=engine_factory)
 
     print()
     print(render_stats_table(result["stats"], objective_label="power (uW)",

@@ -4,24 +4,42 @@ Every optimizer in this package funnels its simulator queries through an
 :class:`EvalEngine`.  The engine owns two orthogonal concerns:
 
 * **dispatch** — how a batch of designs is turned into performance rows.
-  Three backends are provided: ``serial`` (in-process loop, the default),
+  Five backends are provided: ``serial`` (in-process loop, the default),
   ``thread`` (a :class:`~concurrent.futures.ThreadPoolExecutor`; useful when
-  the simulator releases the GIL or blocks on I/O), and ``process`` (a
-  process pool; true CPU parallelism for the pure-python SPICE engine).
+  the simulator releases the GIL or blocks on I/O), ``process`` (a process
+  pool; true CPU parallelism for the pure-python SPICE engine), ``async``
+  (an asyncio dispatcher with bounded concurrency and work-stealing
+  chunking — see :mod:`repro.core.service`), and ``remote`` (a coordinator
+  speaking a length-prefixed JSON socket protocol to worker server
+  processes on one or many hosts).
 * **memoization** — a content-hashed LRU cache keyed on the *rounded* design
   vector bytes, so re-querying an already-simulated sizing (duplicates from
   a collapsed elite region, integer rounding, or repeated trials on the same
-  engine) never pays for a second simulation.
+  engine) never pays for a second simulation.  Under the ``remote`` backend
+  this cache is the service's shared tier: the coordinator de-duplicates and
+  memoizes before any chunk leaves the process, so a repeated design is
+  simulated exactly once across all shards.
 
 The engine also snapshots the simulator's hot-path counters
 (:mod:`repro.spice.profile`) around every dispatch, so
 :meth:`EvalEngine.hotpath_report` can break simulation time into
 assemble / solve / AC-solve / overhead phases — the numbers
-``benchmarks/bench_spice_hotpath.py`` tracks across PRs.
+``benchmarks/bench_spice_hotpath.py`` tracks across PRs.  ``process``
+workers and ``remote`` shards measure the counters where the simulation
+actually ran and ship the per-chunk deltas back, so the report is
+backend-independent.
 
 All backends return rows in input order, so an optimizer's history is
 bit-identical no matter which backend ran the batch — the determinism and
-regression tests in ``tests/core/test_eval_engine.py`` pin this contract.
+regression tests in ``tests/core/test_eval_engine.py`` and
+``tests/core/test_service.py`` pin this contract.
+
+Problems are identified by a *content fingerprint* (a hash of their pickle)
+rather than object identity: two fresh-but-identical instances — the
+``problem_factory()``-per-trial pattern — share cache entries and, for the
+``process`` backend, share the warm worker pool instead of tearing it down
+every trial.  The engine holds only weak references to live problems, so a
+long-lived engine never keeps dropped problems alive.
 
 The process backend inherits the problem object through ``fork`` when the
 platform supports it (no pickling of the problem per task); elsewhere the
@@ -34,8 +52,11 @@ from __future__ import annotations
 
 import hashlib
 import os
+import pickle
+import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from itertools import count
 from time import perf_counter
 
 import numpy as np
@@ -44,6 +65,9 @@ __all__ = ["EvalEngine", "default_workers"]
 
 #: hot-path phases reported by :meth:`EvalEngine.hotpath_report`
 _PHASES = ("assemble_s", "solve_s", "ac_build_s", "ac_solve_s")
+
+#: env var naming default ``host:port`` shards for ``backend="remote"``
+HOSTS_ENV = "REPRO_SERVICE_HOSTS"
 
 
 def _spice_counters():
@@ -54,7 +78,7 @@ def _spice_counters():
         return None
     return profile
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "async", "remote")
 
 # Problem handed to process-pool workers through the initializer (or, under
 # fork, inherited directly from the parent's memory at pool creation).
@@ -66,9 +90,18 @@ def _init_worker(problem) -> None:
     _WORKER_PROBLEM = problem
 
 
-def _eval_chunk(X: np.ndarray) -> np.ndarray:
-    """Process-pool task: evaluate a chunk of designs against the bound problem."""
-    return np.vstack([_WORKER_PROBLEM.evaluate(x) for x in X])
+def _eval_chunk(X: np.ndarray) -> tuple[np.ndarray, dict[str, float]]:
+    """Process-pool task: evaluate a chunk of designs against the bound problem.
+
+    Returns the rows *and* the worker-side hot-path counter deltas for the
+    chunk, so the parent engine's :meth:`EvalEngine.hotpath_report` reflects
+    work done inside the pool.
+    """
+    profile = _spice_counters()
+    before = profile.snapshot() if profile is not None else None
+    rows = np.vstack([_WORKER_PROBLEM.evaluate(x) for x in X])
+    deltas = profile.delta(before) if profile is not None else {}
+    return rows, {name: value for name, value in deltas.items() if value}
 
 
 def default_workers() -> int:
@@ -85,50 +118,79 @@ class EvalEngine:
     Parameters
     ----------
     backend:
-        ``"serial"`` | ``"thread"`` | ``"process"``.
+        ``"serial"`` | ``"thread"`` | ``"process"`` | ``"async"`` | ``"remote"``.
     workers:
         Pool size for the parallel backends (default: visible CPU count).
     cache_size:
         Maximum number of memoized evaluations; ``0`` disables the cache.
+    hosts:
+        ``["host:port", ...]`` worker servers for the ``remote`` backend
+        (default: the ``REPRO_SERVICE_HOSTS`` environment variable,
+        comma-separated).  Start workers with
+        ``python -m repro.core.service --port PORT``.
 
     The engine is reusable across batches and across optimizers sharing one
-    problem; :meth:`close` (or use as a context manager) releases the pool.
+    problem; :meth:`close` (or use as a context manager) releases the pool
+    and any service connections.
     """
 
     def __init__(self, backend: str = "serial", *, workers: int | None = None,
-                 cache_size: int = 100_000):
+                 cache_size: int = 100_000, hosts=None):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if hosts is None:
+            hosts = [h.strip() for h in os.environ.get(HOSTS_ENV, "").split(",")
+                     if h.strip()]
+        self.hosts = list(hosts)
+        if backend == "remote" and not self.hosts:
+            raise ValueError(
+                f"remote backend needs hosts=['host:port', ...] or {HOSTS_ENV}")
         self.backend = backend
         self.workers = int(workers) if workers is not None else default_workers()
         self.cache_size = int(cache_size)
         self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
-        # Per-instance tokens so two same-named but differently-configured
-        # problems sharing one engine can never collide in the cache.  The
-        # strong refs keep id() values unique for the engine's lifetime.
-        self._problem_tokens: dict[int, int] = {}
-        self._problem_refs: list = []
+        # Problem identity: content-fingerprint tokens held behind weakrefs.
+        # ``_problem_tokens`` maps a *live* instance's id() to its token; the
+        # paired weakref callback removes the entry when the instance dies,
+        # so a recycled id can never alias a stale token and the engine never
+        # pins dropped problems in memory.  Unpicklable problems fall back to
+        # a unique anonymous token (and, if also un-weakref-able, a strong
+        # pin — the pre-fingerprint behaviour).
+        self._problem_tokens: dict[int, bytes] = {}
+        self._problem_wrefs: dict[int, weakref.ref] = {}
+        self._problem_pins: dict[int, object] = {}
+        self._anon_tokens = count()
         self._executor = None
-        self._executor_problem = None  # problem the process pool was built for
-        self.n_sim_calls = 0   # designs actually dispatched to the simulator
-        self.n_cache_hits = 0  # designs answered from the cache
+        self._executor_token: bytes | None = None  # problem the pool is warm for
+        self._async = None
+        self._remote = None
+        self.n_sim_calls = 0    # designs actually dispatched to the simulator
+        self.n_cache_hits = 0   # designs answered from the cache
+        self.n_pool_builds = 0  # process pools built over the engine's lifetime
+        self.worker_sim_calls = 0  # simulations reported back by remote shards
         # Per-phase hot-path breakdown, accumulated from the simulator's
-        # counters around each dispatch (serial/thread backends only: a
-        # process pool's counters live in its workers).
+        # counters around each dispatch; process/remote backends fold in the
+        # per-chunk deltas their workers report back.
         self.dispatch_seconds = 0.0
         self.phase_counters: dict[str, float] = {}
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Shut down any live worker pool (idempotent)."""
+        """Shut down any worker pool / dispatcher connections (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-            self._executor_problem = None
+            self._executor_token = None
+        if self._async is not None:
+            self._async.close()
+            self._async = None
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -150,7 +212,8 @@ class EvalEngine:
 
         Designs are rounded through ``problem.space.round`` before hashing so
         the cache key always matches the sizing that would be simulated.
-        Duplicate designs within one batch are simulated once.
+        Duplicate designs within one batch are simulated once (cache enabled
+        or not).
         """
         X = problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         token = self._problem_token(problem)
@@ -176,7 +239,7 @@ class EvalEngine:
             profile = _spice_counters()
             before = profile.snapshot() if profile is not None else None
             t0 = perf_counter()
-            fresh = self._dispatch(problem, np.asarray(pending_rows))
+            fresh = self._dispatch(problem, np.asarray(pending_rows), token)
             self.dispatch_seconds += perf_counter() - t0
             if before is not None:
                 for name, value in profile.delta(before).items():
@@ -188,22 +251,53 @@ class EvalEngine:
 
         return np.vstack([key_to_row[key] for key in keys])
 
-    # -- cache -------------------------------------------------------------
-    def _problem_token(self, problem) -> int:
-        token = self._problem_tokens.get(id(problem))
+    # -- problem identity --------------------------------------------------
+    def _problem_token(self, problem) -> bytes:
+        """Stable token for a problem: content fingerprint, weakly held.
+
+        The fingerprint is computed once per live instance (first sight), so
+        cache keys stay stable even for problems that mutate internal state
+        while being evaluated.
+        """
+        pid = id(problem)
+        token = self._problem_tokens.get(pid)
+        if token is not None:
+            return token
+        token = self._fingerprint(problem)
         if token is None:
-            token = len(self._problem_refs)
-            self._problem_tokens[id(problem)] = token
-            self._problem_refs.append(problem)
+            token = b"anon:%d" % next(self._anon_tokens)
+        self._problem_tokens[pid] = token
+        tokens, wrefs, pins = (self._problem_tokens, self._problem_wrefs,
+                               self._problem_pins)
+
+        def _forget(_ref, pid=pid) -> None:
+            tokens.pop(pid, None)
+            wrefs.pop(pid, None)
+
+        try:
+            self._problem_wrefs[pid] = weakref.ref(problem, _forget)
+        except TypeError:
+            # Not weakref-able (e.g. __slots__ without __weakref__): pin it
+            # so the id stays unique for the engine's lifetime.
+            pins[pid] = problem
         return token
 
     @staticmethod
-    def _key(problem_token: int, x: np.ndarray) -> bytes:
+    def _fingerprint(problem) -> bytes | None:
+        try:
+            blob = pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
+        return hashlib.blake2b(blob, digest_size=16).digest()
+
+    @staticmethod
+    def _key(problem_token: bytes, x: np.ndarray) -> bytes:
         digest = hashlib.blake2b(np.ascontiguousarray(x).tobytes(),
                                  digest_size=16)
-        digest.update(str(problem_token).encode())
+        digest.update(problem_token)
         return digest.digest()
 
+    # -- cache -------------------------------------------------------------
     def _cache_get(self, key: bytes) -> np.ndarray | None:
         if self.cache_size == 0:
             return None
@@ -221,30 +315,50 @@ class EvalEngine:
             self._cache.popitem(last=False)
 
     # -- dispatch ----------------------------------------------------------
-    def _dispatch(self, problem, X: np.ndarray) -> np.ndarray:
+    def _dispatch(self, problem, X: np.ndarray, token: bytes) -> np.ndarray:
+        if self.backend == "remote":
+            rows, counters, n_sims = self._remote_dispatcher().dispatch(
+                problem, token, X)
+            for name, value in counters.items():
+                self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
+            self.worker_sim_calls += n_sims
+            return rows
         if self.backend == "serial" or len(X) == 1:
             return np.vstack([problem.evaluate(x) for x in X])
+        if self.backend == "async":
+            return self._async_dispatcher().dispatch(problem, X)
         chunks = np.array_split(X, min(len(X), self.workers))
         chunks = [c for c in chunks if len(c)]
         if self.backend == "thread":
             executor = self._thread_executor()
-            results = list(executor.map(
+            return np.vstack(list(executor.map(
                 lambda chunk: np.vstack([problem.evaluate(x) for x in chunk]),
-                chunks))
-        else:
-            executor = self._process_executor(problem)
-            results = list(executor.map(_eval_chunk, chunks))
-        return np.vstack(results)
+                chunks)))
+        import multiprocessing as mp
+        if mp.current_process().daemon:
+            # Daemonic contexts (e.g. fork-pool trial workers) cannot spawn
+            # pool children; degrade to the serial loop, same as the trial
+            # runner's own fallback.  Results are unchanged either way.
+            return np.vstack([problem.evaluate(x) for x in X])
+        executor = self._process_executor(problem, token)
+        rows = []
+        for chunk_rows, deltas in executor.map(_eval_chunk, chunks):
+            rows.append(chunk_rows)
+            for name, value in deltas.items():
+                self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
+        return np.vstack(rows)
 
     def _thread_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
             self._executor = ThreadPoolExecutor(max_workers=self.workers)
         return self._executor
 
-    def _process_executor(self, problem) -> ProcessPoolExecutor:
-        # The pool binds one problem (via fork inheritance or initializer);
-        # rebuild it if the engine is reused with a different problem.
-        if self._executor is not None and self._executor_problem is not problem:
+    def _process_executor(self, problem, token: bytes) -> ProcessPoolExecutor:
+        # The pool binds one problem (via fork inheritance or initializer).
+        # Rebuild only when the *content* changes: fresh-but-identical
+        # instances (the problem_factory()-per-trial pattern) keep the warm
+        # pool, whose bound copy evaluates identically.
+        if self._executor is not None and self._executor_token != token:
             self.close()
         if self._executor is None:
             import multiprocessing as mp
@@ -254,8 +368,21 @@ class EvalEngine:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers, initializer=_init_worker,
                 initargs=(problem,), **kwargs)
-            self._executor_problem = problem
+            self._executor_token = token
+            self.n_pool_builds += 1
         return self._executor
+
+    def _async_dispatcher(self):
+        if self._async is None:
+            from .service import AsyncDispatcher
+            self._async = AsyncDispatcher(self.workers)
+        return self._async
+
+    def _remote_dispatcher(self):
+        if self._remote is None:
+            from .service import RemoteDispatcher
+            self._remote = RemoteDispatcher(self.hosts)
+        return self._remote
 
     # -- hot-path reporting ------------------------------------------------
     def hotpath_report(self) -> dict[str, float]:
@@ -263,9 +390,10 @@ class EvalEngine:
         through this engine.
 
         ``overhead_s`` is dispatch wall-clock not attributed to a counted
-        phase (testbench logic, waveform post-processing, engine/pool
-        overhead).  With the ``process`` backend the per-phase counters stay
-        in the workers, so only ``dispatch_s`` is meaningful there.
+        phase (testbench logic, waveform post-processing, engine/pool/wire
+        overhead).  The breakdown is backend-independent: ``process`` workers
+        and ``remote`` shards measure the counters where the simulation ran
+        and ship the per-chunk deltas back with each result.
         """
         report = {name: self.phase_counters.get(name, 0.0) for name in _PHASES}
         report["newton_iterations"] = self.phase_counters.get("newton_iterations", 0.0)
@@ -278,5 +406,6 @@ class EvalEngine:
         return report
 
     def __repr__(self) -> str:
+        hosts = f", hosts={self.hosts!r}" if self.backend == "remote" else ""
         return (f"EvalEngine(backend={self.backend!r}, workers={self.workers}, "
-                f"cache={len(self._cache)}/{self.cache_size})")
+                f"cache={len(self._cache)}/{self.cache_size}{hosts})")

@@ -1,0 +1,546 @@
+"""Async and multi-host evaluation dispatch for :class:`EvalEngine`.
+
+This module is the sharding seam on top of the evaluation engine: it turns a
+batch of pending (cache-missed, de-duplicated) designs into performance rows
+using either
+
+* :class:`AsyncDispatcher` — an in-process asyncio dispatcher with bounded
+  concurrency and *work-stealing* chunking.  Instead of the rigid
+  ``np.array_split`` fan-out (one fixed chunk per worker, wall-clock pinned
+  to the slowest chunk), the batch is cut into many small chunks that idle
+  workers pull from a shared deque, so a straggling simulation only delays
+  its own chunk.  Backend name: ``"async"``.
+* :class:`RemoteDispatcher` — a coordinator that speaks a small
+  length-prefixed JSON protocol over TCP sockets to N worker server
+  processes (:class:`EvalWorkerServer`, one per host/shard), each running
+  the existing *serial* engine.  Backend name: ``"remote"``.
+
+Wire protocol (version 1)
+-------------------------
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON::
+
+    frame := uint32_be(len(payload)) + payload          # payload = JSON object
+
+Requests carry an ``"op"`` key; every reply carries ``"ok"``::
+
+    -> {"op": "hello"}
+    <- {"ok": true, "protocol": 1, "pid": 1234, "problems": 0}
+
+    -> {"op": "put_problem", "token": "<hex>", "blob": "<base64 pickle>"}
+    <- {"ok": true}
+
+    -> {"op": "eval", "token": "<hex>", "X": [[...], ...]}
+    <- {"ok": true, "F": [[...], ...], "counters": {"assemble_s": ...},
+        "n_sims": 4}
+
+    -> {"op": "shutdown"}
+    <- {"ok": true}                                     # then the server exits
+
+``counters`` are the worker-side :mod:`repro.spice.profile` deltas for the
+chunk, so the coordinator's :meth:`EvalEngine.hotpath_report` stays faithful
+even though the simulation happened in another process on another host.
+``n_sims`` is the number of designs the worker actually simulated (its own
+serial engine may answer repeats from its per-process cache).
+
+Determinism: every design is evaluated by the unchanged serial engine in
+*some* worker, results are written back by original batch index, and JSON
+round-trips Python floats exactly (``repr`` shortest round-trip), so
+optimizer histories are bit-identical to ``backend="serial"`` no matter how
+chunks land on hosts — pinned by ``tests/core/test_service.py``.
+
+The coordinator-side engine owns the shared cache tier: it de-duplicates and
+memoizes *before* dispatch, so a design repeated across shards, batches or
+trials is simulated exactly once service-wide.
+
+Problems travel as pickles, so run workers only on hosts/networks you trust
+(same boundary as every multiprocessing-based tool).  Start a worker with::
+
+    python -m repro.core.service --port 9101
+
+``--port 0`` picks a free port; the worker prints
+``repro-eval-worker listening on HOST:PORT`` on stdout when ready.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import base64
+import json
+import os
+import pickle
+import socket
+import struct
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "AsyncDispatcher",
+    "RemoteDispatcher",
+    "EvalWorkerServer",
+    "send_msg",
+    "recv_msg",
+    "parse_host",
+    "spawn_local_worker",
+    "main",
+]
+
+PROTOCOL_VERSION = 1
+
+#: refuse frames above this size — a longer length prefix means a corrupt
+#: stream or a non-protocol peer, not a real request.
+MAX_FRAME_BYTES = 1 << 29
+
+_HEADER = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def send_msg(sock: socket.socket, obj: dict) -> None:
+    """Send one length-prefixed JSON frame."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds protocol maximum")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_msg(sock: socket.socket) -> dict | None:
+    """Receive one frame; ``None`` on clean EOF (peer closed between frames)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"frame of {length} bytes exceeds protocol maximum")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionError("connection closed mid-frame")
+    return json.loads(payload.decode("utf-8"))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if buf:
+                raise ConnectionError("connection closed mid-frame")
+            return None
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def parse_host(spec: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``."""
+    host, sep, port = spec.strip().rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"host must be 'host:port', got {spec!r}")
+    return host, int(port)
+
+
+def _chunk_ranges(n: int, n_consumers: int, granularity: int = 4):
+    """Work-stealing chunk bounds: ~``granularity`` chunks per consumer."""
+    size = max(1, n // max(1, n_consumers * granularity))
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+# ----------------------------------------------------------------------
+# async (in-process) dispatcher
+# ----------------------------------------------------------------------
+class AsyncDispatcher:
+    """Bounded-concurrency asyncio dispatch with work-stealing chunking.
+
+    ``workers`` coroutines pull small chunks from a shared deque and run the
+    blocking ``problem.evaluate`` calls on a thread pool, so a slow design
+    only holds back its own chunk.  Rows are written back by batch index —
+    output order never depends on scheduling.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self._pool = ThreadPoolExecutor(max_workers=self.workers)
+
+    def dispatch(self, problem, X: np.ndarray) -> np.ndarray:
+        out: list = [None] * len(X)
+        chunks = deque(_chunk_ranges(len(X), self.workers))
+
+        def eval_chunk(start: int, stop: int) -> list:
+            return [problem.evaluate(x) for x in X[start:stop]]
+
+        async def puller(loop) -> None:
+            while chunks:
+                start, stop = chunks.popleft()
+                rows = await loop.run_in_executor(self._pool, eval_chunk, start, stop)
+                out[start:stop] = rows
+
+        async def drain() -> None:
+            loop = asyncio.get_running_loop()
+            pullers = min(self.workers, len(chunks))
+            await asyncio.gather(*(puller(loop) for _ in range(pullers)))
+
+        asyncio.run(drain())
+        return np.vstack(out)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# worker server (one shard)
+# ----------------------------------------------------------------------
+class EvalWorkerServer:
+    """One evaluation shard: a TCP server wrapping a serial :class:`EvalEngine`.
+
+    Problems are installed once per server (``put_problem``) and referenced
+    by their content token afterwards, so steady-state traffic is just design
+    vectors and performance rows.  Evaluations are serialized by a lock: a
+    worker *is* one serial engine, concurrent clients queue.
+    """
+
+    #: installed problems kept per worker (LRU); coordinators re-ship on a
+    #: ``need_problem`` reply, so eviction is safe for long-lived shards.
+    MAX_PROBLEMS = 32
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 cache_size: int = 100_000):
+        from .engine import EvalEngine, _spice_counters
+        _spice_counters()  # preload the simulator before "listening" prints,
+        #                    so the first eval doesn't pay the import
+        self._engine = EvalEngine("serial", cache_size=cache_size)
+        self._problems: "OrderedDict[str, object]" = OrderedDict()
+        self._eval_lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`close` (or a ``shutdown`` op)."""
+        self._listener.settimeout(0.2)
+        while not self._shutdown.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             daemon=True).start()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # -- per-connection loop ----------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._shutdown.is_set():
+                try:
+                    msg = recv_msg(conn)
+                except (ConnectionError, OSError, ValueError):
+                    return
+                if msg is None:
+                    return
+                try:
+                    reply = self._handle(msg)
+                except Exception as exc:  # a bad request must not kill the shard
+                    reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                try:
+                    send_msg(conn, reply)
+                except OSError:
+                    return
+                if msg.get("op") == "shutdown":
+                    self.close()
+                    return
+
+    def _handle(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "hello":
+            return {"ok": True, "protocol": PROTOCOL_VERSION, "pid": os.getpid(),
+                    "problems": len(self._problems)}
+        if op == "put_problem":
+            token = msg["token"]
+            if token not in self._problems:
+                self._problems[token] = pickle.loads(base64.b64decode(msg["blob"]))
+            self._problems.move_to_end(token)
+            while len(self._problems) > self.MAX_PROBLEMS:
+                self._problems.popitem(last=False)
+            return {"ok": True}
+        if op == "eval":
+            return self._eval(msg)
+        if op == "shutdown":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _eval(self, msg: dict) -> dict:
+        problem = self._problems.get(msg["token"])
+        if problem is None:
+            return {"ok": False, "need_problem": True,
+                    "error": "unknown problem token (send put_problem first)"}
+        self._problems.move_to_end(msg["token"])
+        from .engine import _spice_counters
+        X = np.asarray(msg["X"], dtype=np.float64)
+        with self._eval_lock:
+            profile = _spice_counters()
+            before = profile.snapshot() if profile is not None else None
+            sims_before = self._engine.n_sim_calls
+            F = self._engine.evaluate_batch(problem, X)
+            counters = profile.delta(before) if profile is not None else {}
+            n_sims = self._engine.n_sim_calls - sims_before
+        return {"ok": True, "F": F.tolist(),
+                "counters": {k: v for k, v in counters.items() if v},
+                "n_sims": n_sims}
+
+
+# ----------------------------------------------------------------------
+# remote (multi-host) coordinator
+# ----------------------------------------------------------------------
+class RemoteDispatcher:
+    """Coordinator for the ``"remote"`` backend.
+
+    Keeps one persistent connection per host, ships each problem at most
+    once per connection (re-shipping on a ``need_problem`` reply, e.g. after
+    a worker restart or LRU eviction), and feeds work-stealing chunks to
+    hosts as they finish.  Failures are told apart: a *transport* error
+    drops the host and re-queues its chunk for the survivors, while a
+    worker's *rejection* of a well-delivered request (the evaluation itself
+    raised) aborts the dispatch immediately — retrying a deterministic
+    failure on another shard would just fail there too.
+    """
+
+    def __init__(self, hosts, *, connect_timeout: float = 10.0):
+        self.addresses = [parse_host(h) for h in hosts]
+        if not self.addresses:
+            raise ValueError("remote dispatch needs at least one host")
+        self.connect_timeout = float(connect_timeout)
+        self._conns: dict[tuple[str, int], socket.socket] = {}
+        self._shipped: dict[tuple[str, int], set[str]] = {}
+        self._lock = threading.Lock()
+
+    # -- connection management --------------------------------------------
+    def _connection(self, addr: tuple[str, int]) -> socket.socket:
+        conn = self._conns.get(addr)
+        if conn is not None:
+            return conn
+        conn = socket.create_connection(addr, timeout=self.connect_timeout)
+        conn.settimeout(None)  # simulations may legitimately take minutes
+        send_msg(conn, {"op": "hello"})
+        hello = recv_msg(conn)
+        if not hello or not hello.get("ok") or hello.get("protocol") != PROTOCOL_VERSION:
+            conn.close()
+            raise ConnectionError(f"{addr[0]}:{addr[1]}: bad hello reply {hello!r}")
+        self._conns[addr] = conn
+        self._shipped[addr] = set()
+        return conn
+
+    def _drop_connection(self, addr: tuple[str, int]) -> None:
+        conn = self._conns.pop(addr, None)
+        self._shipped.pop(addr, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        for addr in list(self._conns):
+            self._drop_connection(addr)
+
+    # -- problem shipping --------------------------------------------------
+    @staticmethod
+    def _encode_problem(problem) -> str:
+        try:
+            return base64.b64encode(
+                pickle.dumps(problem, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+        except Exception as exc:
+            raise TypeError(
+                f"remote backend requires a picklable problem "
+                f"({type(problem).__name__} failed to pickle: {exc})") from exc
+
+    class _EvalRejected(Exception):
+        """The shard is healthy but refused the request itself."""
+
+    def _ship_problem(self, conn, addr, token_hex: str, blob: str) -> None:
+        send_msg(conn, {"op": "put_problem", "token": token_hex, "blob": blob})
+        reply = recv_msg(conn)
+        if reply is None:
+            raise ConnectionError("connection closed")
+        if not reply.get("ok"):
+            # e.g. the problem's class isn't importable on the worker host —
+            # deterministic, so don't retry it against other shards.
+            raise RemoteDispatcher._EvalRejected(
+                f"put_problem rejected: {reply.get('error', reply)}")
+        self._shipped[addr].add(token_hex)
+
+    # -- dispatch ----------------------------------------------------------
+    def dispatch(self, problem, token: bytes,
+                 X: np.ndarray) -> tuple[np.ndarray, dict[str, float], int]:
+        """Evaluate ``X`` across the hosts.
+
+        Returns ``(rows, counters, n_worker_sims)`` where ``counters`` are
+        the summed worker-side hot-path deltas and ``n_worker_sims`` the
+        total simulations the shards actually ran.
+        """
+        token_hex = token.hex()
+        # Encode the problem only when some host still needs it — the
+        # steady state (every connection warm, problem shipped) pays no
+        # per-dispatch pickling.
+        need_ship = any(addr not in self._conns
+                        or token_hex not in self._shipped.get(addr, ())
+                        for addr in self.addresses)
+        blob = self._encode_problem(problem) if need_ship else None
+
+        out: list = [None] * len(X)
+        pending = deque(_chunk_ranges(len(X), len(self.addresses)))
+        counters_total: dict[str, float] = {}
+        sims_total = 0
+        errors: list[str] = []
+        fatal: list[str] = []
+
+        def eval_chunk(conn, addr, start: int, stop: int) -> dict:
+            request = {"op": "eval", "token": token_hex,
+                       "X": X[start:stop].tolist()}
+            for attempt in (0, 1):
+                send_msg(conn, request)
+                reply = recv_msg(conn)
+                if reply is None:
+                    raise ConnectionError("connection closed")
+                if reply.get("ok"):
+                    return reply
+                if reply.get("need_problem") and attempt == 0:
+                    # Worker restarted or LRU-evicted the problem: re-ship
+                    # over the live connection and retry the chunk once.
+                    self._shipped[addr].discard(token_hex)
+                    self._ship_problem(conn, addr, token_hex,
+                                       blob or self._encode_problem(problem))
+                    continue
+                raise RemoteDispatcher._EvalRejected(
+                    reply.get("error", "request rejected"))
+            raise ConnectionError("unreachable")  # pragma: no cover
+
+        def run_host(addr: tuple[str, int]) -> None:
+            nonlocal sims_total
+            label = f"{addr[0]}:{addr[1]}"
+            try:
+                conn = self._connection(addr)
+                if token_hex not in self._shipped[addr]:
+                    self._ship_problem(conn, addr, token_hex, blob)
+            except RemoteDispatcher._EvalRejected as exc:
+                with self._lock:
+                    fatal.append(f"{label}: {exc}")
+                return
+            except Exception as exc:
+                with self._lock:
+                    errors.append(f"{label}: {exc}")
+                self._drop_connection(addr)
+                return
+            while True:
+                with self._lock:
+                    if fatal or not pending:
+                        return
+                    start, stop = pending.popleft()
+                try:
+                    reply = eval_chunk(conn, addr, start, stop)
+                except RemoteDispatcher._EvalRejected as exc:
+                    # Deterministic failure: another shard would reject it
+                    # too.  Abort the dispatch, keep the connection.
+                    with self._lock:
+                        fatal.append(f"{label}: {exc}")
+                    return
+                except Exception as exc:
+                    with self._lock:
+                        pending.append((start, stop))
+                        errors.append(f"{label}: {exc}")
+                    self._drop_connection(addr)
+                    return
+                rows = reply["F"]
+                out[start:stop] = [np.asarray(r, dtype=np.float64) for r in rows]
+                with self._lock:
+                    for name, value in reply.get("counters", {}).items():
+                        counters_total[name] = counters_total.get(name, 0.0) + value
+                    sims_total += int(reply.get("n_sims", len(rows)))
+
+        threads = [threading.Thread(target=run_host, args=(addr,), daemon=True)
+                   for addr in self.addresses]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if fatal:
+            raise RuntimeError("remote evaluation rejected: " + "; ".join(fatal))
+        if any(row is None for row in out):
+            raise RuntimeError(
+                "remote evaluation failed on all hosts: " + "; ".join(errors))
+        return np.vstack(out), counters_total, sims_total
+
+
+# ----------------------------------------------------------------------
+# worker entrypoint: python -m repro.core.service
+# ----------------------------------------------------------------------
+def spawn_local_worker(*, cache_size: int | None = None):
+    """Start a worker server subprocess on a free local port.
+
+    Returns ``(Popen, "host:port")`` once the worker prints its readiness
+    banner.  Convenience for tests/benchmarks and quick local shards; for a
+    long-lived deployment run ``python -m repro.core.service`` yourself.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+    src = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "repro.core.service", "--port", "0"]
+    if cache_size is not None:
+        cmd += ["--cache-size", str(cache_size)]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True, env=env)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"worker failed to start: {line!r}")
+    return proc, line.rsplit("listening on ", 1)[1].split()[0]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.service",
+        description="Start one evaluation-service worker (a serial EvalEngine "
+                    "behind the length-prefixed JSON socket protocol).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free port, default)")
+    parser.add_argument("--cache-size", type=int, default=100_000,
+                        help="worker-local evaluation cache entries")
+    args = parser.parse_args(argv)
+
+    server = EvalWorkerServer(args.host, args.port, cache_size=args.cache_size)
+    print(f"repro-eval-worker listening on {server.address} (pid {os.getpid()})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -95,12 +95,16 @@ def run_parameter_table(circuit) -> str:
 # Tables II/IV and Figures 3/4: building-block comparisons
 # ----------------------------------------------------------------------
 def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None = None,
-                                  workers: int = 1, verbose: bool = False) -> dict:
+                                  workers: int = 1, verbose: bool = False,
+                                  engine_factory=None) -> dict:
     """Run the 4-algorithm comparison on a building block.
 
     Returns ``{"histories": ..., "stats": ..., "curves": ...}`` — everything
     Table II/IV and Figure 3/4 need.  ``workers > 1`` spreads the
-    independent trials over a process pool without changing any result.
+    independent trials over a process pool without changing any result;
+    ``engine_factory`` gives every trial its own evaluation engine (e.g.
+    ``lambda: EvalEngine("remote", hosts=[...])`` to target a running
+    evaluation service) — also without changing any result.
     """
     scale = scale or current_scale()
     problem_factory = lambda: circuit_cls().problem()
@@ -108,7 +112,8 @@ def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None 
     budgets = {"DE": scale.de_budget}
     histories = compare_algorithms(optimizers, problem_factory, budget=scale.budget,
                                    n_trials=scale.n_trials, budgets=budgets,
-                                   workers=workers, verbose=verbose)
+                                   workers=workers, verbose=verbose,
+                                   engine_factory=engine_factory)
     stats = {name: algorithm_stats(name, hs) for name, hs in histories.items()}
     curves = {name: mean_fom_curve(hs, length=scale.budget)
               for name, hs in histories.items()}

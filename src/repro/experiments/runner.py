@@ -14,12 +14,26 @@ trial for trial, to the serial run.  On platforms with ``fork`` the worker
 processes inherit the factories directly (lambdas work); elsewhere, and
 inside already-parallel (daemonic) contexts, the runner degrades to a
 thread pool or the serial loop.
+
+Trial context travels *with* each dispatch — as an explicit argument for
+the serial/thread paths and through the pool initializer for process
+pools — never through a module-level global, so concurrent
+:func:`run_trials` calls (thread pools, the async evaluation service)
+can never run each other's factories.
+
+``engine_factory`` points the trials at an evaluation backend: each trial
+builds its own :class:`~repro.core.engine.EvalEngine` from the factory,
+attaches it to the optimizer, and closes it when the trial ends.  With
+``engine_factory=lambda: EvalEngine("remote", hosts=[...])`` every trial
+targets an already-running evaluation service (see
+:mod:`repro.core.service`).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Callable
 
 from ..core.history import OptimizationHistory
@@ -29,42 +43,59 @@ __all__ = ["run_trials", "compare_algorithms"]
 OptimizerFactory = Callable[[object, int, int], object]
 """Signature: factory(problem, budget, seed) -> Optimizer."""
 
-# Trial context inherited by fork-pool workers (and shared with threads).
-# Set immediately before the pool is created, cleared after the map returns.
-_TRIAL_CONTEXT: tuple | None = None
+# Context bound inside *pool worker processes* by the pool initializer; each
+# pool gets its own workers, so concurrent run_trials calls never share it.
+_POOL_CONTEXT: tuple | None = None
 
 
-def _run_one_trial(trial: int) -> OptimizationHistory:
-    factory, problem_factory, budget, base_seed = _TRIAL_CONTEXT
+def _init_pool_worker(context: tuple) -> None:
+    global _POOL_CONTEXT
+    _POOL_CONTEXT = context
+
+
+def _pool_trial(trial: int) -> OptimizationHistory:
+    return _execute_trial(_POOL_CONTEXT, trial)
+
+
+def _execute_trial(context: tuple, trial: int) -> OptimizationHistory:
+    factory, problem_factory, budget, base_seed, engine_factory = context
     problem = problem_factory()
     optimizer = factory(problem, budget, base_seed + trial)
-    return optimizer.run()
+    if engine_factory is None:
+        return optimizer.run()
+    engine = engine_factory()
+    optimizer.engine = engine
+    try:
+        return optimizer.run()
+    finally:
+        engine.close()
 
 
 def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
                *, budget: int, n_trials: int, base_seed: int = 0,
-               workers: int = 1, verbose: bool = False) -> list[OptimizationHistory]:
+               workers: int = 1, verbose: bool = False,
+               engine_factory: Callable[[], object] | None = None,
+               ) -> list[OptimizationHistory]:
     """Run ``n_trials`` independent optimizations with seeds
     ``base_seed, base_seed+1, ...`` (a fresh problem instance per trial).
 
     ``workers > 1`` runs trials concurrently on a process pool; histories
     come back in trial order and are identical to a serial run.
+    ``engine_factory`` builds a per-trial :class:`~repro.core.EvalEngine`
+    (e.g. pointing at a running evaluation service) that is attached to the
+    optimizer and closed after its trial.
     """
     workers = max(1, int(workers))
-    global _TRIAL_CONTEXT
-    previous_context = _TRIAL_CONTEXT
-    _TRIAL_CONTEXT = (factory, problem_factory, int(budget), int(base_seed))
-    try:
-        if workers == 1 or n_trials <= 1:
-            histories = []
-            for trial in range(n_trials):
-                histories.append(_run_one_trial(trial))
-                if verbose:
-                    _print_trial(trial, histories[-1])
-            return histories
-        histories = _map_trials(range(n_trials), min(workers, n_trials))
-    finally:
-        _TRIAL_CONTEXT = previous_context
+    context = (factory, problem_factory, int(budget), int(base_seed),
+               engine_factory)
+    if workers == 1 or n_trials <= 1:
+        histories = []
+        for trial in range(n_trials):
+            histories.append(_execute_trial(context, trial))
+            if verbose:
+                _print_trial(trial, histories[-1])
+        return histories
+    histories = _map_trials(context, range(n_trials), min(workers, n_trials))
     if verbose:
         # Parallel trials finish out of order; report once all are in.
         for trial, history in enumerate(histories):
@@ -80,27 +111,30 @@ def _print_trial(trial: int, history: OptimizationHistory) -> None:
           f"best_obj={summary['best_feasible_objective']}")
 
 
-def _map_trials(trials, workers: int) -> list[OptimizationHistory]:
-    """Map :func:`_run_one_trial` over ``trials`` with the best pool available.
+def _map_trials(context: tuple, trials, workers: int) -> list[OptimizationHistory]:
+    """Map the trials over the best pool available.
 
     Preference order: fork-based process pool (true parallelism, factories
-    inherited without pickling) -> thread pool (daemonic/parallel contexts
-    and platforms without fork) -> serial loop.
+    inherited without pickling, context bound per-worker by the pool
+    initializer) -> thread pool (daemonic/parallel contexts and platforms
+    without fork; context passed by partial) -> serial loop.
     """
     use_fork = ("fork" in mp.get_all_start_methods()
                 and not mp.current_process().daemon)
     if use_fork:
         try:
-            pool = mp.get_context("fork").Pool(processes=workers)
+            pool = mp.get_context("fork").Pool(processes=workers,
+                                               initializer=_init_pool_worker,
+                                               initargs=(context,))
         except OSError:
             pool = None  # out of processes — fall through to threads
         if pool is not None:
             # Trial exceptions propagate from pool.map untouched; only a
             # failure to *create* the pool triggers the thread fallback.
             with pool:
-                return pool.map(_run_one_trial, trials)
+                return pool.map(_pool_trial, trials)
     with ThreadPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(_run_one_trial, trials))
+        return list(executor.map(partial(_execute_trial, context), trials))
 
 
 def compare_algorithms(optimizers: dict[str, OptimizerFactory],
@@ -108,13 +142,16 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                        budget: int, n_trials: int, base_seed: int = 0,
                        budgets: dict[str, int] | None = None,
                        workers: int = 1,
-                       verbose: bool = False) -> dict[str, list[OptimizationHistory]]:
+                       verbose: bool = False,
+                       engine_factory: Callable[[], object] | None = None,
+                       ) -> dict[str, list[OptimizationHistory]]:
     """Run every algorithm with the multi-trial protocol.
 
     ``budgets`` overrides the budget per algorithm (the paper gives DE 10000
     simulations but the model-based methods only 500); overrides are applied
     per algorithm before its trials are dispatched, so they hold under any
-    ``workers`` setting.
+    ``workers`` setting.  ``engine_factory`` is forwarded to
+    :func:`run_trials`.
     """
     workers = max(1, int(workers))
     results: dict[str, list[OptimizationHistory]] = {}
@@ -125,5 +162,6 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                   f"{workers} workers)")
         results[name] = run_trials(factory, problem_factory, budget=algo_budget,
                                    n_trials=n_trials, base_seed=base_seed,
-                                   workers=workers, verbose=verbose)
+                                   workers=workers, verbose=verbose,
+                                   engine_factory=engine_factory)
     return results

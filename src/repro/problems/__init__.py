@@ -8,6 +8,7 @@ from .base import (
     Spec,
     Variable,
 )
+from .latency import LatencyProblem
 from .synthetic import (
     SYNTHETIC_SUITE,
     G06,
@@ -38,4 +39,5 @@ __all__ = [
     "G06",
     "PressureVessel",
     "SYNTHETIC_SUITE",
+    "LatencyProblem",
 ]

@@ -12,7 +12,7 @@ from repro.baselines import RandomSearch
 from repro.core import DNNOpt, EvalEngine, default_workers
 from repro.problems import ConstrainedSphere, Sphere
 
-BACKENDS = ["serial", "thread", "process"]
+BACKENDS = ["serial", "thread", "process", "async"]
 
 
 class CountingSphere(Sphere):
@@ -114,6 +114,107 @@ def test_cache_key_rounds_integer_dims():
     assert engine.n_sim_calls == 1
 
 
+def test_cache_disabled_still_dedups_within_batch():
+    # cache_size=0 only disables *memoization across batches*; duplicate
+    # rows inside one batch are still simulated once.
+    problem = CountingSphere(2)
+    engine = EvalEngine("serial", cache_size=0)
+    x = np.array([1.0, 2.0])
+    F = engine.evaluate_batch(problem, np.vstack([x, x, x, x]))
+    assert problem.calls == 1
+    assert len(F) == 4
+    assert engine.n_cache_hits == 0
+    engine.evaluate_batch(problem, x[None, :])  # next batch re-simulates
+    assert problem.calls == 2
+
+
+def test_cache_lru_hit_refreshes_recency_in_mixed_batches():
+    # A mixed hit/miss batch must move the hit to most-recently-used, so the
+    # *untouched* entry is the one evicted by the batch's fresh insert.
+    problem = CountingSphere(1)
+    engine = EvalEngine("serial", cache_size=2)
+    a, b, c, = np.array([[1.0]]), np.array([[2.0]]), np.array([[3.0]])
+    engine.evaluate_batch(problem, np.vstack([a, b]))   # cache {a, b}
+    assert problem.calls == 2
+    engine.evaluate_batch(problem, np.vstack([a, c]))   # a hit -> evict b
+    assert problem.calls == 3
+    engine.evaluate_batch(problem, a)                   # still cached
+    assert problem.calls == 3
+    engine.evaluate_batch(problem, b)                   # evicted -> re-simulated
+    assert problem.calls == 4
+
+
+# ----------------------------------------------------------------------
+# Problem identity: weakref tokens, content fingerprints, pool reuse
+# ----------------------------------------------------------------------
+def test_dropped_problem_is_collectable():
+    import gc
+    import weakref
+    engine = EvalEngine("serial")
+    problem = CountingSphere(3)
+    ref = weakref.ref(problem)
+    engine.evaluate_batch(problem, problem.space.sample(np.random.default_rng(0), 4))
+    assert engine._problem_tokens  # tracked while alive
+    del problem
+    gc.collect()
+    assert ref() is None, "engine must not keep dropped problems alive"
+    assert engine._problem_tokens == {}
+    assert engine._problem_wrefs == {}
+
+
+def test_problem_token_stable_for_live_instance():
+    engine = EvalEngine("serial")
+    problem = CountingSphere(2)
+    token = engine._problem_token(problem)
+    engine.evaluate_batch(problem, problem.space.sample(np.random.default_rng(0), 3))
+    assert engine._problem_token(problem) == token  # calls=3 now: still stable
+
+
+def test_cache_shared_across_identical_problem_instances():
+    # The problem_factory()-per-trial pattern: a fresh but identical instance
+    # hits the cache entries its predecessor populated.
+    engine = EvalEngine("serial")
+    X = Sphere(3).space.sample(np.random.default_rng(4), 5)
+    p1 = CountingSphere(3)
+    engine.evaluate_batch(p1, X)
+    assert p1.calls == 5
+    p2 = CountingSphere(3)
+    engine.evaluate_batch(p2, X)
+    assert p2.calls == 0  # all answered from p1's entries
+    assert engine.n_cache_hits == 5
+    # ...while a differently-configured problem never collides
+    p3 = CountingSphere(3)
+    p3.extra = "different content"
+    engine.evaluate_batch(p3, X)
+    assert p3.calls == 5
+
+
+def test_process_pool_reused_across_identical_problem_instances():
+    rng = np.random.default_rng(0)
+    with EvalEngine("process", workers=2, cache_size=0) as engine:
+        for _ in range(3):
+            problem = ConstrainedSphere(2)
+            engine.evaluate_batch(problem, problem.space.sample(rng, 4))
+        assert engine.n_pool_builds == 1  # warm pool survives fresh instances
+        other = Sphere(3)
+        engine.evaluate_batch(other, other.space.sample(rng, 4))
+        assert engine.n_pool_builds == 2  # different content -> rebuild
+
+
+def test_hotpath_report_nonzero_under_process_backend():
+    # Workers ship their per-chunk counter deltas back, so the report no
+    # longer silently reads zero when the simulation ran in a pool.
+    from repro.circuits import FoldedCascodeOTA
+    problem = FoldedCascodeOTA().problem()
+    with EvalEngine("process", workers=2) as engine:
+        engine.evaluate_batch(problem, problem.space.sample(np.random.default_rng(1), 2))
+        report = engine.hotpath_report()
+    assert report["assemble_s"] > 0
+    assert report["solve_s"] > 0
+    assert report["newton_iterations"] > 0
+    assert report["ac_solves"] > 0
+
+
 def test_invalid_parameters_rejected():
     with pytest.raises(ValueError):
         EvalEngine("gpu")
@@ -130,7 +231,7 @@ def test_default_workers_positive():
 # ----------------------------------------------------------------------
 # Optimizer wiring: histories are backend-independent, bit for bit
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("backend", ["thread", "process", "async"])
 def test_random_search_history_bit_identical(backend):
     serial = RandomSearch(Sphere(3), 20, seed=5).run()
     with EvalEngine(backend, workers=3) as engine:
@@ -141,7 +242,7 @@ def test_random_search_history_bit_identical(backend):
     np.testing.assert_array_equal(serial.feasible, parallel.feasible)
 
 
-@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("backend", ["thread", "process", "async"])
 def test_batched_dnnopt_history_bit_identical(backend):
     problem_factory = lambda: ConstrainedSphere(3)
     serial = small_dnnopt(problem_factory(), 18, seed=7, batch_size=3).run()

@@ -1,0 +1,329 @@
+"""Evaluation service: wire protocol, worker servers, remote determinism.
+
+The load-bearing contract mirrors the engine suite: optimizer histories
+produced through ``EvalEngine(backend="remote")`` against live worker
+server processes are *bit-identical* to ``backend="serial"`` — including on
+the folded-cascode SPICE problem — and the coordinator-side cache is the
+shared tier, so a design repeated across shards is simulated exactly once
+service-wide.
+
+Worker processes are spawned per test module with ``--port 0`` (free
+ports); set ``REPRO_SERVICE_HOSTS=host:port,host:port`` to run the same
+tests against an externally-started service instead (the CI service smoke
+does exactly that).
+"""
+
+import json
+import os
+import socket
+import subprocess
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.circuits import FoldedCascodeOTA
+from repro.core import DNNOpt, EvalEngine
+from repro.core import service
+from repro.experiments import run_trials
+from repro.problems import ConstrainedSphere, Sphere
+
+# ----------------------------------------------------------------------
+# worker fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def service_hosts():
+    env_hosts = [h.strip() for h in
+                 os.environ.get("REPRO_SERVICE_HOSTS", "").split(",") if h.strip()]
+    if env_hosts:
+        yield env_hosts
+        return
+    procs, hosts = [], []
+    try:
+        for _ in range(2):
+            proc, host = service.spawn_local_worker()
+            procs.append(proc)
+            hosts.append(host)
+        yield hosts
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+@pytest.fixture()
+def local_server():
+    """One in-process worker server on a free port (protocol-level tests)."""
+    server = service.EvalWorkerServer(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.close()
+    thread.join(timeout=5)
+
+
+def _client(server):
+    return socket.create_connection((server.host, server.port), timeout=10)
+
+
+def _roundtrip(conn, msg):
+    service.send_msg(conn, msg)
+    return service.recv_msg(conn)
+
+
+def _put_problem(conn, engine, problem):
+    import base64
+    import pickle
+    token = engine._problem_token(problem).hex()
+    blob = base64.b64encode(pickle.dumps(problem)).decode("ascii")
+    reply = _roundtrip(conn, {"op": "put_problem", "token": token, "blob": blob})
+    assert reply["ok"]
+    return token
+
+
+# ----------------------------------------------------------------------
+# framing / protocol
+# ----------------------------------------------------------------------
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        msg = {"op": "hello", "x": [1.5, 2.0 ** -52, -0.0], "nested": {"k": [1, 2]}}
+        service.send_msg(a, msg)
+        assert service.recv_msg(b) == msg
+        # several frames back-to-back arrive intact and in order
+        for i in range(5):
+            service.send_msg(a, {"i": i})
+        assert [service.recv_msg(b)["i"] for _ in range(5)] == list(range(5))
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_returns_none():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        assert service.recv_msg(b) is None
+    finally:
+        b.close()
+
+
+def test_oversized_frame_rejected():
+    a, b = socket.socketpair()
+    try:
+        a.sendall((service.MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ConnectionError):
+            service.recv_msg(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_json_roundtrip_preserves_float64_bits():
+    rng = np.random.default_rng(0)
+    rows = (rng.standard_normal((7, 5)) * 10.0 ** rng.integers(-12, 12, (7, 5)))
+    back = np.asarray(json.loads(json.dumps(rows.tolist())), dtype=np.float64)
+    np.testing.assert_array_equal(back, rows)  # bit-exact, not approximate
+
+
+def test_parse_host():
+    assert service.parse_host("127.0.0.1:9101") == ("127.0.0.1", 9101)
+    assert service.parse_host(" box:80 ") == ("box", 80)
+    with pytest.raises(ValueError):
+        service.parse_host("9101")
+
+
+# ----------------------------------------------------------------------
+# worker server behaviour
+# ----------------------------------------------------------------------
+def test_worker_hello_and_unknown_op(local_server):
+    with _client(local_server) as conn:
+        hello = _roundtrip(conn, {"op": "hello"})
+        assert hello["ok"] and hello["protocol"] == service.PROTOCOL_VERSION
+        bad = _roundtrip(conn, {"op": "frobnicate"})
+        assert not bad["ok"] and "unknown op" in bad["error"]
+
+
+def test_worker_eval_requires_problem(local_server):
+    with _client(local_server) as conn:
+        reply = _roundtrip(conn, {"op": "eval", "token": "ff", "X": [[0.0]]})
+        assert not reply["ok"] and reply.get("need_problem")
+
+
+def test_worker_eval_matches_local_evaluation(local_server):
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(1), 6)
+    with _client(local_server) as conn:
+        token = _put_problem(conn, EvalEngine(), problem)
+        reply = _roundtrip(conn, {"op": "eval", "token": token, "X": X.tolist()})
+    assert reply["ok"] and reply["n_sims"] == 6
+    np.testing.assert_array_equal(np.asarray(reply["F"]), problem.evaluate_batch(X))
+
+
+def test_worker_survives_bad_request_and_abrupt_disconnect(local_server):
+    # A malformed request answers with ok=False instead of killing the shard,
+    # and a peer that connects then vanishes doesn't take the server down.
+    probe = _client(local_server)
+    probe.close()
+    with _client(local_server) as conn:
+        reply = _roundtrip(conn, {"op": "eval"})  # missing fields
+        assert not reply["ok"]
+        assert _roundtrip(conn, {"op": "hello"})["ok"]  # still serving
+
+
+# ----------------------------------------------------------------------
+# remote backend: determinism and the shared cache tier
+# ----------------------------------------------------------------------
+def test_remote_backend_requires_hosts(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_HOSTS", raising=False)
+    with pytest.raises(ValueError):
+        EvalEngine("remote")
+
+
+def test_remote_batch_matches_direct_evaluation(service_hosts):
+    problem = Sphere(4)
+    X = problem.space.sample(np.random.default_rng(0), 13)
+    with EvalEngine("remote", hosts=service_hosts) as engine:
+        np.testing.assert_array_equal(engine.evaluate_batch(problem, X),
+                                      problem.evaluate_batch(X))
+
+
+def test_remote_duplicates_simulated_once_service_wide(service_hosts):
+    # 4 unique designs tiled into 12 rows: the coordinator-owned cache tier
+    # must dispatch exactly 4 simulations across both shards.
+    problem = Sphere(3)
+    unique = problem.space.sample(np.random.default_rng(2), 4)
+    X = np.vstack([unique] * 3)
+    with EvalEngine("remote", hosts=service_hosts) as engine:
+        F = engine.evaluate_batch(problem, X)
+        assert engine.n_sim_calls == 4
+        assert engine.worker_sim_calls == 4
+        # a follow-up batch of the same designs never reaches the wire
+        engine.evaluate_batch(problem, unique)
+        assert engine.worker_sim_calls == 4
+    np.testing.assert_array_equal(F[:4], F[4:8])
+
+
+def test_remote_random_search_history_bit_identical(service_hosts):
+    serial = RandomSearch(Sphere(3), 20, seed=5).run()
+    with EvalEngine("remote", hosts=service_hosts) as engine:
+        remote = RandomSearch(Sphere(3), 20, seed=5, engine=engine).run()
+    np.testing.assert_array_equal(serial.X, remote.X)
+    np.testing.assert_array_equal(serial.F, remote.F)
+    np.testing.assert_array_equal(serial.fom, remote.fom)
+    np.testing.assert_array_equal(serial.feasible, remote.feasible)
+
+
+def test_remote_batched_dnnopt_history_bit_identical(service_hosts):
+    def build(problem, engine=None):
+        return DNNOpt(problem, 18, 7, n_init=8, n_elite=5, critic_epochs=5,
+                      actor_epochs=5, critic_hidden=(16, 16),
+                      actor_hidden=(16, 16), max_pseudo=500, batch_size=3,
+                      engine=engine)
+    serial = build(ConstrainedSphere(3)).run()
+    with EvalEngine("remote", hosts=service_hosts) as engine:
+        remote = build(ConstrainedSphere(3), engine=engine).run()
+    np.testing.assert_array_equal(serial.X, remote.X)
+    np.testing.assert_array_equal(serial.F, remote.F)
+    np.testing.assert_array_equal(serial.fom, remote.fom)
+
+
+def test_remote_folded_cascode_history_and_hotpath(service_hosts):
+    # The acceptance pin: bit-identical histories on the real SPICE problem,
+    # with worker-side hot-path counters aggregated over the wire.
+    problem_factory = lambda: FoldedCascodeOTA().problem()
+    serial = RandomSearch(problem_factory(), 6, seed=3).run()
+    with EvalEngine("remote", hosts=service_hosts) as engine:
+        remote = RandomSearch(problem_factory(), 6, seed=3, engine=engine).run()
+        report = engine.hotpath_report()
+    np.testing.assert_array_equal(serial.X, remote.X)
+    np.testing.assert_array_equal(serial.F, remote.F)
+    np.testing.assert_array_equal(serial.fom, remote.fom)
+    np.testing.assert_array_equal(serial.feasible, remote.feasible)
+    assert report["assemble_s"] > 0
+    assert report["solve_s"] > 0
+    assert report["newton_iterations"] > 0
+    assert report["ac_solves"] > 0
+
+
+def test_run_trials_can_target_running_service(service_hosts):
+    # The runner's engine_factory hook: every trial builds its own remote
+    # engine against the live service; histories match the serial protocol.
+    factory = lambda p, b, s: RandomSearch(p, b, s)
+    kwargs = dict(budget=10, n_trials=3, base_seed=4)
+    serial = run_trials(factory, lambda: Sphere(3), workers=1, **kwargs)
+    remote = run_trials(factory, lambda: Sphere(3), workers=1,
+                        engine_factory=lambda: EvalEngine("remote",
+                                                          hosts=service_hosts),
+                        **kwargs)
+    for a, b in zip(serial, remote):
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.F, b.F)
+        np.testing.assert_array_equal(a.fom, b.fom)
+
+
+class BoomSphere(Sphere):
+    """Sphere that raises on evaluation (an optimizer-visible error)."""
+
+    def _evaluate(self, x):
+        raise ValueError("boom: deterministic evaluation error")
+
+
+def test_remote_eval_error_is_fatal_not_host_death(local_server):
+    # A worker that *rejects* a well-delivered request (the evaluation
+    # itself raised) must abort the dispatch with the real error — not be
+    # treated as a dead host, cascade through every shard, and surface as
+    # "failed on all hosts".
+    with EvalEngine("remote", hosts=[local_server.address]) as engine:
+        with pytest.raises(RuntimeError, match="rejected.*boom"):
+            engine.evaluate_batch(BoomSphere(2), np.zeros((3, 2)))
+    # the shard stayed up and keeps serving
+    with _client(local_server) as conn:
+        assert _roundtrip(conn, {"op": "hello"})["ok"]
+
+
+def test_remote_reships_problem_after_worker_forgets_it(local_server):
+    # Worker restart / LRU eviction between batches: the coordinator sees
+    # need_problem, re-ships over the live connection, and the batch
+    # completes without the caller noticing.
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(6), 5)
+    with EvalEngine("remote", hosts=[local_server.address]) as engine:
+        np.testing.assert_array_equal(engine.evaluate_batch(problem, X),
+                                      problem.evaluate_batch(X))
+        local_server._problems.clear()  # simulate restart/eviction
+        X2 = problem.space.sample(np.random.default_rng(7), 5)
+        np.testing.assert_array_equal(engine.evaluate_batch(problem, X2),
+                                      problem.evaluate_batch(X2))
+
+
+def test_worker_problem_store_is_bounded(local_server, monkeypatch):
+    import base64
+    import pickle
+    monkeypatch.setattr(service.EvalWorkerServer, "MAX_PROBLEMS", 2)
+    with _client(local_server) as conn:
+        for i in range(5):
+            blob = base64.b64encode(pickle.dumps(Sphere(2))).decode("ascii")
+            reply = _roundtrip(conn, {"op": "put_problem", "token": f"{i:02x}",
+                                      "blob": blob})
+            assert reply["ok"]
+    assert len(local_server._problems) == 2  # LRU-evicted, not unbounded
+
+
+def test_remote_survives_one_dead_host(service_hosts):
+    # One bogus shard (nothing listens there): the dispatcher drops it and
+    # the surviving hosts finish the batch with identical results.
+    with socket.socket() as placeholder:
+        placeholder.bind(("127.0.0.1", 0))
+        dead = f"127.0.0.1:{placeholder.getsockname()[1]}"
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(5), 9)
+    with EvalEngine("remote", hosts=[dead] + list(service_hosts)) as engine:
+        F = engine.evaluate_batch(problem, X)
+    np.testing.assert_array_equal(F, problem.evaluate_batch(X))

@@ -6,10 +6,12 @@ identical to serial execution, and that per-algorithm budget overrides in
 ``compare_algorithms`` survive parallel dispatch.
 """
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from repro.baselines import RandomSearch, SimulatedAnnealing
-from repro.core import DNNOpt
+from repro.core import DNNOpt, EvalEngine
 from repro.experiments import compare_algorithms, run_trials
 from repro.problems import ConstrainedSphere, Sphere
 
@@ -71,6 +73,58 @@ def test_compare_algorithms_budget_overrides_under_parallelism():
     assert all(h.n_evals == 24 for h in parallel["SA"])
     for name in optimizers:
         _assert_histories_equal(serial[name], parallel[name])
+
+
+def test_concurrent_run_trials_keep_their_own_context():
+    # Two run_trials calls racing on different factories/problems: context
+    # travels with each dispatch (initargs/partials, no module global), so
+    # neither call can ever run the other's factory.
+    specs = {
+        "Random": (lambda p, b, s: RandomSearch(p, b, s), lambda: Sphere(3)),
+        "SA": (lambda p, b, s: SimulatedAnnealing(p, b, s), lambda: Sphere(2)),
+    }
+    kwargs = dict(budget=10, n_trials=3, base_seed=2)
+    serial = {name: run_trials(f, pf, workers=1, **kwargs)
+              for name, (f, pf) in specs.items()}
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = {name: pool.submit(run_trials, f, pf, workers=2, **kwargs)
+                   for name, (f, pf) in specs.items()}
+        concurrent = {name: future.result() for name, future in futures.items()}
+    for name, (f, pf) in specs.items():
+        dim = pf().dim
+        assert all(h.X.shape[1] == dim for h in concurrent[name])
+        assert all(h.optimizer_name == serial[name][0].optimizer_name
+                   for h in concurrent[name])
+        _assert_histories_equal(serial[name], concurrent[name])
+
+
+def test_engine_factory_leaves_histories_unchanged():
+    factory = lambda p, b, s: RandomSearch(p, b, s)
+    kwargs = dict(budget=12, n_trials=3, base_seed=7)
+    base = run_trials(factory, lambda: Sphere(3), workers=1, **kwargs)
+    for engine_factory in (lambda: EvalEngine("serial"),
+                           lambda: EvalEngine("async", workers=2)):
+        for workers in (1, 3):
+            got = run_trials(factory, lambda: Sphere(3), workers=workers,
+                             engine_factory=engine_factory, **kwargs)
+            _assert_histories_equal(base, got)
+
+
+def test_engine_factory_process_backend_inside_pool_workers():
+    # A process-backend engine built inside daemonic fork-pool trial workers
+    # cannot spawn pool children; the engine degrades to its serial loop
+    # instead of crashing, with identical histories.  DNNOpt with batch_size
+    # ensures multi-design batches actually reach the process dispatch path.
+    factory = lambda p, b, s: DNNOpt(p, b, s, n_init=8, n_elite=5,
+                                     critic_epochs=4, actor_epochs=4,
+                                     critic_hidden=(16, 16), actor_hidden=(16, 16),
+                                     max_pseudo=400, batch_size=2)
+    kwargs = dict(budget=12, n_trials=2, base_seed=5)
+    base = run_trials(factory, lambda: ConstrainedSphere(2), workers=1, **kwargs)
+    got = run_trials(factory, lambda: ConstrainedSphere(2), workers=2,
+                     engine_factory=lambda: EvalEngine("process", workers=2),
+                     **kwargs)
+    _assert_histories_equal(base, got)
 
 
 def test_parallel_verbose_prints_in_trial_order(capsys):
