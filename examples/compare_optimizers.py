@@ -12,6 +12,10 @@ including a running multi-host evaluation service:
     python -m repro.core.service --port 9102 &
     python examples/compare_optimizers.py --engine remote \
         --hosts 127.0.0.1:9101,127.0.0.1:9102
+
+``--pipeline d`` keeps up to ``d`` ask/tell batches in flight per trial
+(overlapping proposal generation with evaluations — a throughput mode that
+lets adaptive optimizers condition on a slightly stale archive).
 """
 
 import argparse
@@ -44,6 +48,9 @@ if __name__ == "__main__":
     parser.add_argument("--engine-workers", type=int, default=None,
                         help="pool size inside each trial's engine "
                              "(thread/process/async backends)")
+    parser.add_argument("--pipeline", type=int, default=1, metavar="DEPTH",
+                        help="ask/tell batches kept in flight per trial "
+                             "(default 1 = barrier mode, the paper protocol)")
     args = parser.parse_args()
 
     engine_factory = None
@@ -58,7 +65,8 @@ if __name__ == "__main__":
                             sa_budget=max(100, 2 * args.budget))
     result = run_building_block_comparison(StrongArmLatch, scale=scale,
                                            workers=args.workers, verbose=True,
-                                           engine_factory=engine_factory)
+                                           engine_factory=engine_factory,
+                                           pipeline_depth=args.pipeline)
 
     print()
     print(render_stats_table(result["stats"], objective_label="power (uW)",

@@ -4,9 +4,17 @@ Runs a deliberately small budget so it finishes in about a minute; raise
 ``BUDGET`` toward the paper's 500 for a serious sizing run.
 
     python examples/quickstart.py
+
+The optimizer speaks *ask/tell* — it only proposes designs and observes
+results — while a ``Study`` owns the loop: budget, stop conditions,
+callbacks and checkpointing.  The checkpoint written below can resume the
+run after a crash::
+
+    study = Study.load("quickstart.ckpt.json", fresh_optimizer)
+    study.run()   # replays the recorded prefix, then continues
 """
 
-from repro import DNNOpt
+from repro import DNNOpt, Study
 from repro.circuits import FoldedCascodeOTA
 
 BUDGET = 60
@@ -18,13 +26,25 @@ if __name__ == "__main__":
     print()
 
     optimizer = DNNOpt(problem, budget=BUDGET, seed=0, n_init=20)
-    history = optimizer.run()
 
-    print(f"simulations used      : {history.n_evals}")
+    def progress(study):
+        h = study.history
+        print(f"  batch {study.n_batches:3d}: {h.n_evals:3d}/{BUDGET} sims, "
+              f"best FoM {h.best_fom:.4f}")
+
+    study = Study(optimizer, callbacks=[progress],
+                  checkpoint_path="quickstart.ckpt.json", checkpoint_every=10)
+    history = study.run()
+
+    print(f"\nsimulations used      : {history.n_evals}")
     print(f"best FoM              : {history.best_fom:.4f}")
     print(f"first feasible at sim : {history.evals_to_first_feasible}")
     if history.best_feasible_objective is not None:
         print(f"best feasible power   : {history.best_feasible_objective * 1e3:.3f} mW")
+    engine = history.summary().get("engine", {})
+    print(f"engine                : {engine.get('backend')} backend, "
+          f"{engine.get('misses', 0)} simulations, "
+          f"{engine.get('cache_hits', 0)} cache hits")
 
     best = problem.space.as_dict(history.best_x)
     print("\nbest design:")

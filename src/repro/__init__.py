@@ -14,23 +14,30 @@ together with everything needed to reproduce the paper end-to-end offline:
 
 Quickstart::
 
-    from repro import DNNOpt
+    from repro import DNNOpt, Study
     from repro.circuits import FoldedCascodeOTA
 
     problem = FoldedCascodeOTA().problem()
-    history = DNNOpt(problem, budget=200, seed=0).run()
+    history = Study(DNNOpt(problem, budget=200, seed=0)).run()
     print(history.summary())
+
+Optimizers speak *ask/tell* (propose designs / observe results); a
+:class:`Study` owns the loop — budget, stop conditions, callbacks,
+checkpoint/resume and pipelined dispatch.  ``optimizer.run()`` remains as
+a shim for the one-liner above.
 """
 
-from .core import DNNOpt, OptimizationHistory, Optimizer
+from .core import BudgetExhausted, DNNOpt, OptimizationHistory, Optimizer, Study
 from .problems import DesignSpace, Objective, OptimizationProblem, Spec, Variable
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DNNOpt",
     "Optimizer",
     "OptimizationHistory",
+    "BudgetExhausted",
+    "Study",
     "OptimizationProblem",
     "DesignSpace",
     "Variable",

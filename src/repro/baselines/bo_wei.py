@@ -46,17 +46,32 @@ class BOwEI(Optimizer):
         self.refit_every = max(1, int(refit_every))
         self.gp_restarts = int(gp_restarts)
         self._models: list[GaussianProcess] = []
+        self._init_plan: np.ndarray | None = None
+        self._init_served = 0
+        self._iteration = 0
 
-    def _run(self) -> None:
+    # ------------------------------------------------------------------
+    # ask/tell protocol: the GP models condition on the *told* archive, so
+    # proposals need no per-result hook — a speculative (pipelined) ask
+    # simply maximizes the acquisition on a one-batch-stale posterior.
+    # ------------------------------------------------------------------
+    def _ask(self, k: int | None) -> np.ndarray:
         space = self.problem.space
-        for x in space.sample_lhs(self.rng, min(self.n_init, self.budget)):
-            self.evaluate(x)
-
-        iteration = 0
-        while True:
-            candidate = self._next_candidate(iteration)
-            self.evaluate(candidate)
-            iteration += 1
+        if self._init_plan is None:
+            self._init_plan = space.sample_lhs(self.rng,
+                                               min(self.n_init, self.budget))
+        if self._init_served < len(self._init_plan):
+            stop = (len(self._init_plan) if k is None
+                    else min(len(self._init_plan), self._init_served + k))
+            chunk = self._init_plan[self._init_served:stop]
+            self._init_served = stop
+            return chunk
+        count = 1 if k is None else k
+        candidates = []
+        for _ in range(count):
+            candidates.append(self._next_candidate(self._iteration))
+            self._iteration += 1
+        return np.asarray(candidates)
 
     # ------------------------------------------------------------------
     def _next_candidate(self, iteration: int) -> np.ndarray:

@@ -4,9 +4,18 @@ The paper's DE reference is a conventional population-based optimizer:
 good convergence, simulation hungry.  Constraint handling uses the same
 FoM as every other method so convergence curves are directly comparable
 (a design with all constraints met and lower objective always wins).
+
+Under ask/tell the generational loop becomes an explicit state machine:
+``ask`` serves the initial population, then breeds trial vectors for the
+cyclic target cursor; ``tell`` performs the greedy selection.  Asking one
+trial at a time replays the historic serial loop exactly; asking several
+(or pipelining) breeds the next targets against the not-yet-updated
+population — the standard parallel-DE relaxation.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -33,23 +42,52 @@ class DifferentialEvolution(Optimizer):
         self.pop_size = int(pop_size)
         self.f_weight = float(f_weight)
         self.crossover = float(crossover)
+        self._pop_n: np.ndarray | None = None
+        self._pop_fom: np.ndarray | None = None
+        self._init_served = 0
+        self._init_told = 0
+        self._target = 0
+        self._pending: deque = deque()  # ("init", i) | ("trial", i, trial_n)
 
-    def _run(self) -> None:
+    def _ask(self, k: int | None) -> np.ndarray:
         space = self.problem.space
-        pop_n = space.normalize(space.sample_lhs(self.rng, self.pop_size))
-        fom = np.empty(self.pop_size)
-        for i in range(self.pop_size):
-            f_raw = self.evaluate(space.denormalize(pop_n[i]))
-            fom[i] = fom_from_raw(self.problem, f_raw[None, :])[0]
+        if self._pop_n is None:
+            self._pop_n = space.normalize(space.sample_lhs(self.rng, self.pop_size))
+            self._pop_fom = np.empty(self.pop_size)
+        if self._init_served < self.pop_size:
+            stop = (self.pop_size if k is None
+                    else min(self.pop_size, self._init_served + k))
+            for i in range(self._init_served, stop):
+                self._pending.append(("init", i, None))
+            chunk = self._pop_n[self._init_served:stop]
+            self._init_served = stop
+            return space.denormalize(chunk)
+        if self._init_told < self.pop_size:
+            # Breeding needs every member's fitness; wait for the initial
+            # population to come back.
+            return np.empty((0, self.problem.dim))
+        count = 1 if k is None else k
+        trials = []
+        for _ in range(count):
+            trial = self._trial_vector(self._pop_n, self._target)
+            self._pending.append(("trial", self._target, trial))
+            self._target = (self._target + 1) % self.pop_size
+            trials.append(trial)
+        return space.denormalize(np.asarray(trials))
 
-        while True:
-            for i in range(self.pop_size):
-                trial = self._trial_vector(pop_n, i)
-                f_raw = self.evaluate(space.denormalize(trial))
-                trial_fom = fom_from_raw(self.problem, f_raw[None, :])[0]
-                if trial_fom <= fom[i]:
-                    pop_n[i] = trial
-                    fom[i] = trial_fom
+    def _observe(self, x: np.ndarray, f_raw: np.ndarray) -> None:
+        if not self._pending:
+            return  # archive-only tell (results not proposed by ask)
+        kind, i, trial_n = self._pending.popleft()
+        fom = float(fom_from_raw(self.problem, f_raw[None, :])[0])
+        if kind == "init":
+            self._pop_fom[i] = fom
+            self._init_told += 1
+        elif fom <= self._pop_fom[i]:
+            # Greedy selection keeps the *unrounded* normalized trial — the
+            # historic behaviour (rounding applies at evaluation only).
+            self._pop_n[i] = trial_n
+            self._pop_fom[i] = fom
 
     def _trial_vector(self, pop_n: np.ndarray, target: int) -> np.ndarray:
         choices = [k for k in range(self.pop_size) if k != target]

@@ -2,17 +2,25 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.history import Optimizer
 
 __all__ = ["RandomSearch"]
 
 
 class RandomSearch(Optimizer):
-    """Sample the design space uniformly until the budget is exhausted."""
+    """Sample the design space uniformly until the budget is exhausted.
+
+    Stateless under ask/tell: proposals never depend on told results, so
+    random search pipelines at any depth with bit-identical histories.
+    """
 
     name = "Random"
 
-    def _run(self) -> None:
-        while True:
-            x = self.problem.space.sample(self.rng, 1)[0]
-            self.evaluate(x)
+    def _ask(self, k: int | None) -> np.ndarray:
+        count = 1 if k is None else k
+        # One draw per design (not one (k, d) draw) keeps the RNG stream
+        # identical to the historic one-query loop for any batch shape.
+        return np.vstack([self.problem.space.sample(self.rng, 1)
+                          for _ in range(count)])

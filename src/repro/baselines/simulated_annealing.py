@@ -4,9 +4,20 @@ Stand-in for the commercial SA-based black-box optimizer the paper uses as
 its industrial baseline (Table V).  Standard Metropolis acceptance on the
 FoM with geometric cooling and step-size adaptation toward a target
 acceptance rate.
+
+Under ask/tell the walk is a state machine: ``ask`` perturbs the current
+point (the warm start ``x0`` or a random design first), ``tell`` applies
+Metropolis acceptance and — every ``steps_per_temperature`` told steps —
+the step-size/temperature adaptation.  One proposal per ask replays the
+historic serial loop exactly (the acceptance draw is consumed *only* on
+uphill moves, so it must stay on the tell side); asking several proposals
+perturbs the same stale current point, a simple parallel-tempering-free
+batch relaxation.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 import numpy as np
 
@@ -37,38 +48,62 @@ class SimulatedAnnealing(Optimizer):
         self.initial_step = float(initial_step)
         self.target_acceptance = float(target_acceptance)
         self.x0 = None if x0 is None else np.asarray(x0, dtype=np.float64).ravel()
+        self._current: np.ndarray | None = None      # normalized coordinates
+        self._current_fom: float | None = None
+        self._temperature: float | None = None
+        self._step = self.initial_step
+        self._accepted = 0
+        self._steps = 0
+        self._pending: deque = deque()  # ("init", None) | ("step", proposal_n)
 
-    def _run(self) -> None:
+    def _ask(self, k: int | None) -> np.ndarray:
         space = self.problem.space
-        if self.x0 is not None:
-            current = space.normalize(space.round(self.x0))
-        else:
-            current = space.normalize(space.sample(self.rng, 1)[0])
-        f_raw = self.evaluate(space.denormalize(current))
-        current_fom = float(fom_from_raw(self.problem, f_raw[None, :])[0])
-
-        temperature = self.initial_temperature
-        if temperature is None:
-            # Calibrate so a typical early uphill move is accepted ~50%.
-            temperature = max(0.3 * abs(current_fom), 0.1)
-        step = self.initial_step
-
-        while True:
-            accepted = 0
-            for _ in range(self.steps_per_temperature):
-                proposal = current + self.rng.normal(0.0, step, size=space.dim)
-                proposal = np.clip(proposal, 0.0, 1.0)
-                f_raw = self.evaluate(space.denormalize(proposal))
-                proposal_fom = float(fom_from_raw(self.problem, f_raw[None, :])[0])
-                delta = proposal_fom - current_fom
-                if delta <= 0 or self.rng.random() < np.exp(-delta / max(temperature, 1e-12)):
-                    current = proposal
-                    current_fom = proposal_fom
-                    accepted += 1
-            # Adapt the neighbourhood toward the target acceptance rate.
-            rate = accepted / self.steps_per_temperature
-            if rate > self.target_acceptance:
-                step = min(step * 1.2, 0.5)
+        if self._current is None:
+            if self.x0 is not None:
+                self._current = space.normalize(space.round(self.x0))
             else:
-                step = max(step * 0.85, 1e-3)
-            temperature *= self.cooling
+                self._current = space.normalize(space.sample(self.rng, 1)[0])
+            self._pending.append(("init", None))
+            return space.denormalize(self._current)[None, :]
+        if self._current_fom is None:
+            # The walk cannot move until the starting point is measured.
+            return np.empty((0, self.problem.dim))
+        count = 1 if k is None else k
+        proposals = []
+        for _ in range(count):
+            proposal = self._current + self.rng.normal(0.0, self._step,
+                                                       size=space.dim)
+            proposal = np.clip(proposal, 0.0, 1.0)
+            self._pending.append(("step", proposal))
+            proposals.append(proposal)
+        return space.denormalize(np.asarray(proposals))
+
+    def _observe(self, x: np.ndarray, f_raw: np.ndarray) -> None:
+        if not self._pending:
+            return  # archive-only tell (results not proposed by ask)
+        kind, proposal = self._pending.popleft()
+        fom = float(fom_from_raw(self.problem, f_raw[None, :])[0])
+        if kind == "init":
+            self._current_fom = fom
+            if self.initial_temperature is not None:
+                self._temperature = float(self.initial_temperature)
+            else:
+                # Calibrate so a typical early uphill move is accepted ~50%.
+                self._temperature = max(0.3 * abs(fom), 0.1)
+            return
+        delta = fom - self._current_fom
+        if delta <= 0 or self.rng.random() < np.exp(-delta / max(self._temperature, 1e-12)):
+            self._current = proposal
+            self._current_fom = fom
+            self._accepted += 1
+        self._steps += 1
+        if self._steps == self.steps_per_temperature:
+            # Adapt the neighbourhood toward the target acceptance rate.
+            rate = self._accepted / self.steps_per_temperature
+            if rate > self.target_acceptance:
+                self._step = min(self._step * 1.2, 0.5)
+            else:
+                self._step = max(self._step * 0.85, 1e-3)
+            self._temperature *= self.cooling
+            self._steps = 0
+            self._accepted = 0

@@ -1,21 +1,26 @@
-"""DNN-Opt core: FoM, pseudo-samples, actor-critic networks, Algorithm 1."""
+"""DNN-Opt core: FoM, pseudo-samples, actor-critic networks, Algorithm 1,
+the ask/tell optimizer protocol and the :class:`Study` run driver."""
 
 from .actor import Actor
 from .critic import Critic
 from .dnn_opt import DNNOpt
-from .engine import EvalEngine, default_workers
+from .engine import EvalEngine, EvalHandle, default_workers
 from .fom import fom_from_raw, fom_normalized, fom_tensor
-from .history import OptimizationHistory, Optimizer
+from .history import BudgetExhausted, OptimizationHistory, Optimizer
 from .pseudo import generate_pseudo_samples
+from .study import Study
 
 __all__ = [
     "DNNOpt",
     "Actor",
     "Critic",
     "EvalEngine",
+    "EvalHandle",
     "default_workers",
     "Optimizer",
     "OptimizationHistory",
+    "BudgetExhausted",
+    "Study",
     "fom_normalized",
     "fom_from_raw",
     "fom_tensor",

@@ -120,24 +120,49 @@ class DNNOpt(Optimizer):
         self.use_pseudo_samples = bool(use_pseudo_samples)
         self.initial_designs = (None if initial_designs is None
                                 else np.atleast_2d(np.asarray(initial_designs, dtype=np.float64)))
+        self._init_plan: np.ndarray | None = None
+        self._init_served = 0
 
     # ------------------------------------------------------------------
-    def _run(self) -> None:
-        space = self.problem.space
-        seeded = 0
-        if self.initial_designs is not None:
-            # Designer starting points (the paper's industrial fine-tuning
-            # setting) are simulated first and join the archive/elites.
-            for x in self.initial_designs[:self.budget]:
-                self.evaluate(x)
-                seeded += 1
-        n_random = max(0, min(self.n_init - seeded, self.budget - seeded))
-        for x in space.sample_lhs(self.rng, n_random):
-            self.evaluate(x)
+    # ask/tell protocol
+    # ------------------------------------------------------------------
+    def _ask(self, k: int | None) -> np.ndarray:
+        """Next proposals: the space-filling block first, then Eq. 8 batches.
 
-        while self.history.n_evals < self.budget:
-            batch = self._next_candidates()
-            self.evaluate_batch(batch)
+        The initial block is the designer starting points (the paper's
+        industrial fine-tuning setting — simulated first so they join the
+        archive/elites) followed by the Latin-hypercube samples; afterwards
+        each ask retrains the actor/critic on the told archive and returns
+        the top-``batch_size`` candidates (fewer when the remaining budget
+        is smaller, more/less when ``k`` is given).
+        """
+        if self._init_plan is None:
+            blocks = []
+            seeded = 0
+            if self.initial_designs is not None:
+                blocks.append(self.initial_designs[:self.budget])
+                seeded = len(blocks[-1])
+            n_random = max(0, min(self.n_init - seeded, self.budget - seeded))
+            blocks.append(self.problem.space.sample_lhs(self.rng, n_random))
+            blocks = [b for b in blocks if len(b)]
+            self._init_plan = (np.vstack(blocks) if blocks
+                               else np.empty((0, self.problem.dim)))
+        if self._init_served < len(self._init_plan):
+            stop = (len(self._init_plan) if k is None
+                    else min(len(self._init_plan), self._init_served + k))
+            chunk = self._init_plan[self._init_served:stop]
+            self._init_served = stop
+            return chunk
+        count = k
+        if count is None:
+            # In pipelined mode proposals may be outstanding (asked, not yet
+            # told); discount them so the run never over-proposes.  With a
+            # barrier driver ``outstanding`` is always 0 and this is exactly
+            # the historic per-iteration count.
+            outstanding = max(0, self._n_proposed - self.history.n_evals)
+            count = min(self.batch_size,
+                        self.budget - self.history.n_evals - outstanding)
+        return self._next_candidates(count=max(1, int(count)))
 
     # ------------------------------------------------------------------
     def _next_candidate(self) -> np.ndarray:

@@ -34,6 +34,16 @@ bit-identical no matter which backend ran the batch — the determinism and
 regression tests in ``tests/core/test_eval_engine.py`` and
 ``tests/core/test_service.py`` pin this contract.
 
+Two evaluation entry points share the cache and dispatch machinery:
+:meth:`EvalEngine.evaluate_batch` blocks until the rows are back, while the
+:meth:`EvalEngine.submit` / :meth:`EvalEngine.gather` pair is non-blocking —
+``submit`` resolves cache hits synchronously, ships the misses to a
+background dispatch thread, and returns an :class:`EvalHandle`; ``gather``
+blocks on the handle.  Overlapping submits de-duplicate against each other
+through an in-flight registry (a design pending in one batch is never
+re-simulated by a later batch), which is what lets ``Study(pipeline_depth=d)``
+keep ``d`` batches in flight without wasting simulations.
+
 Problems are identified by a *content fingerprint* (a hash of their pickle)
 rather than object identity: two fresh-but-identical instances — the
 ``problem_factory()``-per-trial pattern — share cache entries and, for the
@@ -53,6 +63,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -61,7 +72,7 @@ from time import perf_counter
 
 import numpy as np
 
-__all__ = ["EvalEngine", "default_workers"]
+__all__ = ["EvalEngine", "EvalHandle", "default_workers"]
 
 #: hot-path phases reported by :meth:`EvalEngine.hotpath_report`
 _PHASES = ("assemble_s", "solve_s", "ac_build_s", "ac_solve_s")
@@ -110,6 +121,28 @@ def default_workers() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):
         return max(1, os.cpu_count() or 1)
+
+
+class EvalHandle:
+    """Ticket for a batch submitted via :meth:`EvalEngine.submit`.
+
+    Redeem with :meth:`EvalEngine.gather` (on the engine that issued it) to
+    block for the rows.  Handles are single-use value objects; they carry
+    the per-design resolution — cached rows, and futures for designs that
+    went (or were already) in flight — so ``gather`` never touches engine
+    state beyond reading future results.
+    """
+
+    __slots__ = ("keys", "resolved", "waits")
+
+    def __init__(self, keys, resolved, waits):
+        self.keys = keys          # cache key per input row, in input order
+        self.resolved = resolved  # key -> row answered at submit time
+        self.waits = waits        # key -> Future[dict[key, row]]
+
+    def done(self) -> bool:
+        """True when every pending design's dispatch has completed."""
+        return all(future.done() for future in self.waits.values())
 
 
 class EvalEngine:
@@ -168,8 +201,17 @@ class EvalEngine:
         self._executor_token: bytes | None = None  # problem the pool is warm for
         self._async = None
         self._remote = None
+        # Non-blocking submit/gather machinery: a small thread pool runs the
+        # dispatches, ``_inflight`` maps each pending design's cache key to
+        # the future that will produce its row (so overlapping submits never
+        # simulate the same design twice), and ``_state_lock`` guards the
+        # cache, counters and problem-token tables against those threads.
+        self._submit_executor: ThreadPoolExecutor | None = None
+        self._inflight: dict[bytes, object] = {}
+        self._state_lock = threading.RLock()
         self.n_sim_calls = 0    # designs actually dispatched to the simulator
         self.n_cache_hits = 0   # designs answered from the cache
+        self.n_dedup = 0        # designs answered by an in-batch/in-flight twin
         self.n_pool_builds = 0  # process pools built over the engine's lifetime
         self.worker_sim_calls = 0  # simulations reported back by remote shards
         # Per-phase hot-path breakdown, accumulated from the simulator's
@@ -181,16 +223,29 @@ class EvalEngine:
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         """Shut down any worker pool / dispatcher connections (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_token = None
+        if self._submit_executor is not None:
+            self._submit_executor.shutdown(wait=True)
+            self._submit_executor = None
+        self._close_worker_pool()
         if self._async is not None:
             self._async.close()
             self._async = None
         if self._remote is not None:
             self._remote.close()
             self._remote = None
+
+    def _close_worker_pool(self) -> None:
+        """Shut down only the thread/process worker pool.
+
+        Separate from :meth:`close` because a problem switch under the
+        process backend retires the old pool from *inside* a submit-pool
+        dispatch thread — which must never try to shut down (and join) the
+        submit pool it is running on.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_token = None
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -223,33 +278,127 @@ class EvalEngine:
         key_to_row: dict[bytes, np.ndarray] = {}
         pending_keys: list[bytes] = []
         pending_rows: list[np.ndarray] = []
-        for key, x in zip(keys, X):
-            if key in key_to_row:
-                continue
-            cached = self._cache_get(key)
-            if cached is not None:
-                key_to_row[key] = cached
-                self.n_cache_hits += 1
-            else:
-                key_to_row[key] = None  # placeholder, filled after dispatch
-                pending_keys.append(key)
-                pending_rows.append(x)
+        with self._state_lock:
+            for key, x in zip(keys, X):
+                if key in key_to_row:
+                    self.n_dedup += 1
+                    continue
+                cached = self._cache_get(key)
+                if cached is not None:
+                    key_to_row[key] = cached
+                    self.n_cache_hits += 1
+                else:
+                    key_to_row[key] = None  # placeholder, filled after dispatch
+                    pending_keys.append(key)
+                    pending_rows.append(x)
 
         if pending_rows:
             profile = _spice_counters()
             before = profile.snapshot() if profile is not None else None
             t0 = perf_counter()
             fresh = self._dispatch(problem, np.asarray(pending_rows), token)
-            self.dispatch_seconds += perf_counter() - t0
+            elapsed = perf_counter() - t0
+            with self._state_lock:
+                self.dispatch_seconds += elapsed
+                if before is not None:
+                    for name, value in profile.delta(before).items():
+                        self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
+                self.n_sim_calls += len(pending_rows)
+                for key, row in zip(pending_keys, fresh):
+                    key_to_row[key] = row
+                    self._cache_put(key, row)
+
+        return np.vstack([key_to_row[key] for key in keys])
+
+    # -- non-blocking evaluation -------------------------------------------
+    def submit(self, problem, X: np.ndarray) -> EvalHandle:
+        """Start evaluating a batch without blocking; returns an :class:`EvalHandle`.
+
+        The cache and dedup phases run synchronously (a fully-cached batch
+        costs no thread hop); only the designs that actually need the
+        simulator are dispatched on a background thread.  A design already
+        in flight from an *earlier* outstanding submit is shared, not
+        re-simulated — the handle waits on the same future.  This is the
+        primitive under :class:`repro.core.Study`'s pipelined mode, which
+        overlaps the optimizer's next proposal batch with these in-flight
+        evaluations.
+
+        Under overlapping submits the per-phase hot-path counters may
+        double-count concurrent windows (the process-global simulator
+        counters cannot be attributed per dispatch); the cache/dedup/call
+        counters stay exact.
+        """
+        X = problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        token = self._problem_token(problem)
+        keys = [self._key(token, x) for x in X]
+        resolved: dict[bytes, np.ndarray] = {}
+        waits: dict[bytes, object] = {}
+        pending_keys: list[bytes] = []
+        pending_rows: list[np.ndarray] = []
+        with self._state_lock:
+            for key, x in zip(keys, X):
+                if key in resolved or key in waits or key in pending_keys:
+                    self.n_dedup += 1
+                    continue
+                cached = self._cache_get(key)
+                if cached is not None:
+                    resolved[key] = cached
+                    self.n_cache_hits += 1
+                    continue
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    waits[key] = inflight
+                    self.n_dedup += 1
+                    continue
+                pending_keys.append(key)
+                pending_rows.append(x)
+            if pending_rows:
+                future = self._submit_pool().submit(
+                    self._run_submitted, problem, np.asarray(pending_rows),
+                    token, tuple(pending_keys))
+                for key in pending_keys:
+                    self._inflight[key] = future
+                    waits[key] = future
+        return EvalHandle(keys, resolved, waits)
+
+    def gather(self, handle: EvalHandle) -> np.ndarray:
+        """Rows for a submitted batch, in input order (blocks until done)."""
+        rows = dict(handle.resolved)
+        for key, future in handle.waits.items():
+            rows[key] = future.result()[key]
+        return np.vstack([rows[key] for key in handle.keys])
+
+    def _run_submitted(self, problem, X: np.ndarray, token: bytes,
+                       keys: tuple[bytes, ...]) -> dict[bytes, np.ndarray]:
+        """Background-thread body of one submit: dispatch + bookkeeping."""
+        profile = _spice_counters()
+        before = profile.snapshot() if profile is not None else None
+        t0 = perf_counter()
+        try:
+            fresh = self._dispatch(problem, X, token)
+        except BaseException:
+            with self._state_lock:
+                for key in keys:
+                    self._inflight.pop(key, None)
+            raise
+        elapsed = perf_counter() - t0
+        with self._state_lock:
+            self.dispatch_seconds += elapsed
             if before is not None:
                 for name, value in profile.delta(before).items():
                     self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
-            self.n_sim_calls += len(pending_rows)
-            for key, row in zip(pending_keys, fresh):
-                key_to_row[key] = row
+            self.n_sim_calls += len(X)
+            for key, row in zip(keys, fresh):
                 self._cache_put(key, row)
+                self._inflight.pop(key, None)
+        return dict(zip(keys, fresh))
 
-        return np.vstack([key_to_row[key] for key in keys])
+    def _submit_pool(self) -> ThreadPoolExecutor:
+        if self._submit_executor is None:
+            self._submit_executor = ThreadPoolExecutor(
+                max_workers=max(4, self.workers),
+                thread_name_prefix="eval-submit")
+        return self._submit_executor
 
     # -- problem identity --------------------------------------------------
     def _problem_token(self, problem) -> bytes:
@@ -259,6 +408,10 @@ class EvalEngine:
         cache keys stay stable even for problems that mutate internal state
         while being evaluated.
         """
+        with self._state_lock:
+            return self._problem_token_locked(problem)
+
+    def _problem_token_locked(self, problem) -> bytes:
         pid = id(problem)
         token = self._problem_tokens.get(pid)
         if token is not None:
@@ -319,9 +472,10 @@ class EvalEngine:
         if self.backend == "remote":
             rows, counters, n_sims = self._remote_dispatcher().dispatch(
                 problem, token, X)
-            for name, value in counters.items():
-                self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
-            self.worker_sim_calls += n_sims
+            with self._state_lock:  # overlapping submits fold concurrently
+                for name, value in counters.items():
+                    self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
+                self.worker_sim_calls += n_sims
             return rows
         if self.backend == "serial" or len(X) == 1:
             return np.vstack([problem.evaluate(x) for x in X])
@@ -344,45 +498,53 @@ class EvalEngine:
         rows = []
         for chunk_rows, deltas in executor.map(_eval_chunk, chunks):
             rows.append(chunk_rows)
-            for name, value in deltas.items():
-                self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
+            with self._state_lock:  # overlapping submits fold concurrently
+                for name, value in deltas.items():
+                    self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
         return np.vstack(rows)
 
     def _thread_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(max_workers=self.workers)
-        return self._executor
+        with self._state_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            return self._executor
 
     def _process_executor(self, problem, token: bytes) -> ProcessPoolExecutor:
         # The pool binds one problem (via fork inheritance or initializer).
         # Rebuild only when the *content* changes: fresh-but-identical
         # instances (the problem_factory()-per-trial pattern) keep the warm
-        # pool, whose bound copy evaluates identically.
-        if self._executor is not None and self._executor_token != token:
-            self.close()
-        if self._executor is None:
-            import multiprocessing as mp
-            kwargs = {}
-            if "fork" in mp.get_all_start_methods():
-                kwargs["mp_context"] = mp.get_context("fork")
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_init_worker,
-                initargs=(problem,), **kwargs)
-            self._executor_token = token
-            self.n_pool_builds += 1
-        return self._executor
+        # pool, whose bound copy evaluates identically.  Locked so
+        # overlapping submit() dispatch threads agree on one pool, and
+        # retiring only the worker pool (never the submit pool this thread
+        # may be running on).
+        with self._state_lock:
+            if self._executor is not None and self._executor_token != token:
+                self._close_worker_pool()
+            if self._executor is None:
+                import multiprocessing as mp
+                kwargs = {}
+                if "fork" in mp.get_all_start_methods():
+                    kwargs["mp_context"] = mp.get_context("fork")
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=_init_worker,
+                    initargs=(problem,), **kwargs)
+                self._executor_token = token
+                self.n_pool_builds += 1
+            return self._executor
 
     def _async_dispatcher(self):
-        if self._async is None:
-            from .service import AsyncDispatcher
-            self._async = AsyncDispatcher(self.workers)
-        return self._async
+        with self._state_lock:
+            if self._async is None:
+                from .service import AsyncDispatcher
+                self._async = AsyncDispatcher(self.workers)
+            return self._async
 
     def _remote_dispatcher(self):
-        if self._remote is None:
-            from .service import RemoteDispatcher
-            self._remote = RemoteDispatcher(self.hosts)
-        return self._remote
+        with self._state_lock:
+            if self._remote is None:
+                from .service import RemoteDispatcher
+                self._remote = RemoteDispatcher(self.hosts)
+            return self._remote
 
     # -- hot-path reporting ------------------------------------------------
     def hotpath_report(self) -> dict[str, float]:

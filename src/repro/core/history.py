@@ -1,23 +1,50 @@
-"""Optimization run records shared by DNN-Opt and every baseline.
+"""Optimization run records and the ask/tell optimizer core.
 
 :class:`OptimizationHistory` stores each simulated design with its raw
 performance row, FoM value and feasibility flag, and accounts simulator
 time and model-building time separately — exactly the quantities reported
 in Tables II/IV/V of the paper (success, sims-to-first-feasible, objective
-statistics, modeling/simulation time).
+statistics, modeling/simulation time).  It round-trips through plain JSON
+(:meth:`OptimizationHistory.to_dict` / :meth:`OptimizationHistory.from_dict`),
+which is what :meth:`repro.core.Study.save` checkpoints are made of.
+
+:class:`Optimizer` is the *ask/tell* core shared by DNN-Opt and every
+baseline: :meth:`Optimizer.ask` proposes the next designs to simulate and
+:meth:`Optimizer.tell` feeds the measured rows back.  The optimizer never
+drives its own evaluation loop — budget, dispatch, stop conditions,
+callbacks and checkpointing belong to :class:`repro.core.Study`, and
+:meth:`Optimizer.run` is a thin compatibility shim that builds a default
+(non-pipelined) study.  Inverting control this way lets one driver overlap
+proposal generation with in-flight evaluations (``Study(pipeline_depth=d)``),
+checkpoint and resume runs, and compose optimizers into larger scenarios.
 """
 
 from __future__ import annotations
 
 import time
-from abc import ABC, abstractmethod
+import warnings
+from abc import ABC
 
 import numpy as np
 
 from .engine import EvalEngine
 from .fom import fom_from_raw
 
-__all__ = ["OptimizationHistory", "Optimizer"]
+__all__ = ["BudgetExhausted", "OptimizationHistory", "Optimizer"]
+
+
+class BudgetExhausted(Exception):
+    """No simulation budget left for another :meth:`Optimizer.evaluate` call.
+
+    Raised by the legacy :meth:`Optimizer.evaluate` /
+    :meth:`Optimizer.evaluate_batch` entry points once
+    ``history.n_evals == budget`` (and, with ``stop_when_feasible``, as soon
+    as a feasible design lands).  :meth:`Optimizer.run` catches it to end a
+    legacy ``_run`` loop; code that calls ``evaluate()`` *directly* — outside
+    any driver — must be prepared to catch it too, which is why it is public
+    API (``repro.core.BudgetExhausted``).  The ask/tell protocol never raises
+    it: budget discipline there belongs to :class:`repro.core.Study`.
+    """
 
 
 class OptimizationHistory:
@@ -33,6 +60,9 @@ class OptimizationHistory:
         self._feasible: list[bool] = []
         self.modeling_time = 0.0
         self.simulation_time = 0.0
+        #: engine cache/dedup counter deltas for the run that produced this
+        #: history (attached by the Study driver; ``None`` until a run ends).
+        self.engine_stats: dict | None = None
 
     # -- recording ---------------------------------------------------------
     def append(self, x: np.ndarray, f_raw: np.ndarray) -> None:
@@ -113,7 +143,7 @@ class OptimizationHistory:
         return np.minimum.accumulate(self.fom) if self._fom else np.empty(0)
 
     def summary(self) -> dict:
-        return {
+        out = {
             "optimizer": self.optimizer_name,
             "problem": self.problem.name,
             "seed": self.seed,
@@ -125,18 +155,81 @@ class OptimizationHistory:
             "modeling_time_s": self.modeling_time,
             "simulation_time_s": self.simulation_time,
         }
+        if self.engine_stats is not None:
+            out["engine"] = dict(self.engine_stats)
+        return out
+
+    # -- JSON round-trip -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (the :meth:`Study.save` payload).
+
+        Float arrays are emitted as nested lists; Python's ``repr``-based
+        float serialization is shortest-round-trip, so a
+        :meth:`from_dict` reload reproduces every value bit-exactly.
+        """
+        return {
+            "optimizer_name": self.optimizer_name,
+            "problem_name": self.problem.name,
+            "seed": int(self.seed),
+            "n_evals": self.n_evals,
+            "X": [list(map(float, x)) for x in self._X],
+            "F": [list(map(float, f)) for f in self._F],
+            "modeling_time_s": float(self.modeling_time),
+            "simulation_time_s": float(self.simulation_time),
+            "engine": dict(self.engine_stats) if self.engine_stats else None,
+        }
+
+    @classmethod
+    def from_dict(cls, problem, data: dict) -> "OptimizationHistory":
+        """Rebuild a history against a live ``problem`` instance.
+
+        FoM and feasibility are *recomputed* from the stored raw rows (they
+        are pure functions of ``F``), so a round-trip is bit-identical.
+        """
+        history = cls(problem, data["optimizer_name"], int(data["seed"]))
+        if len(data["X"]) != len(data["F"]):
+            raise ValueError("history X/F row counts disagree")
+        for x, f in zip(data["X"], data["F"]):
+            history.append(np.asarray(x, dtype=np.float64),
+                           np.asarray(f, dtype=np.float64))
+        history.modeling_time = float(data.get("modeling_time_s", 0.0))
+        history.simulation_time = float(data.get("simulation_time_s", 0.0))
+        if data.get("engine"):
+            history.engine_stats = dict(data["engine"])
+        return history
 
 
 class Optimizer(ABC):
-    """Common driver for all black-box optimizers in this package.
+    """Ask/tell core shared by DNN-Opt and every baseline.
 
-    Subclasses implement :meth:`_run` and call :meth:`evaluate` (or
-    :meth:`evaluate_batch` for several designs at once) for every simulator
-    query; the budget, history bookkeeping, timing split and optional early
-    stop on feasibility are handled here.  All queries are routed through an
-    :class:`~repro.core.engine.EvalEngine`, so any optimizer transparently
-    gains parallel dispatch and evaluation caching when the caller passes a
-    non-serial engine.
+    Native subclasses implement :meth:`_ask` (propose the next designs) and,
+    when they carry internal state beyond the history, :meth:`_observe`
+    (consume one told result).  The public protocol is::
+
+        X = optimizer.ask()          # (k, d) proposals, physical units
+        F = engine.evaluate_batch(problem, X)
+        optimizer.tell(X, F)         # record + update internal state
+
+    :meth:`run` is a compatibility shim that wraps the optimizer in a
+    default :class:`repro.core.Study`; production code drives a Study
+    directly (pipelining, callbacks, checkpoints).
+
+    Two guarantees native optimizers uphold:
+
+    * **Serial equivalence** — an ``ask()``/``tell()`` round-trip of one
+      proposal at a time consumes the RNG stream exactly like the historic
+      blocking loop, so seeded histories are bit-identical across the API
+      generations (pinned by the seed-determinism suite).
+    * **Delayed feedback** — ``ask()`` may be called again before the
+      previous proposals are told (the Study's pipelined mode).  Proposals
+      then condition on the stale archive; an optimizer that cannot propose
+      yet (e.g. DE waiting for its initial population) returns an empty
+      ``(0, d)`` array, which tells the driver to gather first.
+
+    Legacy third-party subclasses that override :meth:`_run` keep working
+    through :meth:`run` (one deprecation path); :meth:`evaluate` /
+    :meth:`evaluate_batch` remain for them and for direct out-of-loop
+    queries, and raise :class:`BudgetExhausted` once the budget is spent.
     """
 
     name = "optimizer"
@@ -153,12 +246,62 @@ class Optimizer(ABC):
         self.engine = engine if engine is not None else EvalEngine()
         self.rng = np.random.default_rng(seed)
         self.history = OptimizationHistory(problem, self.name, seed)
+        self._n_proposed = 0  # designs handed out via ask() so far
 
-    class _BudgetExhausted(Exception):
-        pass
+    #: public alias kept for code that referenced the old private name
+    _BudgetExhausted = BudgetExhausted
 
+    # -- ask/tell protocol -------------------------------------------------
+    def ask(self, k: int | None = None) -> np.ndarray:
+        """Propose the next designs to simulate, shape ``(n, d)``.
+
+        ``k`` is a *request*: ``None`` lets the optimizer pick its preferred
+        count (its initial block, ``batch_size`` candidates, or one design);
+        an integer asks for at most ``k``.  May return an empty ``(0, d)``
+        array when proposals must wait for outstanding :meth:`tell` calls.
+        """
+        if k is not None and k < 1:
+            raise ValueError("k must be >= 1")
+        X = np.atleast_2d(np.asarray(self._ask(k), dtype=np.float64))
+        if X.size == 0:
+            return np.empty((0, self.problem.dim))
+        if X.shape[1] != self.problem.dim:
+            raise ValueError(f"{self.name}: ask() produced designs of dim "
+                             f"{X.shape[1]}, problem has dim {self.problem.dim}")
+        self._n_proposed += len(X)
+        return X
+
+    def tell(self, X: np.ndarray, F: np.ndarray) -> None:
+        """Observe raw performance rows ``F`` for evaluated designs ``X``.
+
+        Designs are rounded through ``problem.space.round`` (the sizing that
+        was actually simulated) before being recorded; each row is appended
+        to the history and handed to :meth:`_observe` in order, so stateful
+        optimizers see results exactly as the serial protocol would.
+        """
+        X = self.problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        F = np.atleast_2d(np.asarray(F, dtype=np.float64))
+        if len(X) != len(F):
+            raise ValueError(f"tell() got {len(X)} designs but {len(F)} rows")
+        for x, f_raw in zip(X, F):
+            self.history.append(x, f_raw)
+            self._observe(x, f_raw)
+
+    def _ask(self, k: int | None) -> np.ndarray:
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _ask() (native "
+            f"ask/tell) nor _run() (legacy blocking loop)")
+
+    def _observe(self, x: np.ndarray, f_raw: np.ndarray) -> None:
+        """Consume one told result (row already appended to the history)."""
+
+    # -- legacy evaluation entry points ------------------------------------
     def evaluate(self, x: np.ndarray) -> np.ndarray:
-        """Simulate one design, record it, and return the raw performance row."""
+        """Simulate one design, record it, and return the raw performance row.
+
+        Out-of-loop entry point (legacy ``_run`` bodies and direct calls);
+        raises :class:`BudgetExhausted` once the budget is spent.
+        """
         return self.evaluate_batch(np.asarray(x, dtype=np.float64).ravel()[None, :])[0]
 
     def evaluate_batch(self, X: np.ndarray) -> np.ndarray:
@@ -172,7 +315,7 @@ class Optimizer(ABC):
         """
         remaining = self.budget - self.history.n_evals
         if remaining <= 0:
-            raise Optimizer._BudgetExhausted
+            raise BudgetExhausted
         X = self.problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         X = X[:remaining]
         start = time.perf_counter()
@@ -187,24 +330,42 @@ class Optimizer(ABC):
                 kept = i + 1
                 break
         if stop:
-            raise Optimizer._BudgetExhausted
+            raise BudgetExhausted
         return F[:kept]
 
     def timed_modeling(self):
         """Context manager adding elapsed wall-clock to modeling time."""
         return _ModelTimer(self.history)
 
+    # -- drivers ------------------------------------------------------------
     def run(self) -> OptimizationHistory:
-        """Execute the optimizer until the budget is exhausted."""
-        try:
-            self._run()
-        except Optimizer._BudgetExhausted:
-            pass
-        return self.history
+        """Execute the optimizer until the budget is exhausted.
 
-    @abstractmethod
+        Compatibility shim: native ask/tell optimizers are wrapped in a
+        default non-pipelined :class:`repro.core.Study`; subclasses that
+        still override ``_run`` get the historic blocking loop (deprecated).
+        """
+        if type(self)._run is not Optimizer._run:
+            warnings.warn(
+                f"{type(self).__name__} overrides Optimizer._run(); port it "
+                f"to the ask/tell protocol (_ask/_observe) — the blocking "
+                f"_run loop is deprecated and cannot be pipelined, "
+                f"checkpointed, or resumed.",
+                DeprecationWarning, stacklevel=2)
+            from .study import attach_engine_stats, engine_counter_snapshot
+            before = engine_counter_snapshot(self.engine)
+            try:
+                self._run()
+            except BudgetExhausted:
+                pass
+            attach_engine_stats(self.history, self.engine, before)
+            return self.history
+        from .study import Study
+        return Study(self).run()
+
     def _run(self) -> None:
-        ...
+        """Legacy blocking loop hook — superseded by :meth:`_ask`/:meth:`_observe`."""
+        raise NotImplementedError
 
 
 class _ModelTimer:

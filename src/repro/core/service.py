@@ -334,6 +334,13 @@ class RemoteDispatcher:
         self._conns: dict[tuple[str, int], socket.socket] = {}
         self._shipped: dict[tuple[str, int], set[str]] = {}
         self._lock = threading.Lock()
+        # One dispatch at a time per coordinator: the persistent per-host
+        # sockets carry strictly request/reply frames, so two overlapping
+        # dispatch() calls (engine.submit() pipelining) must queue here
+        # rather than interleave frames on a shared connection.  Pipelined
+        # studies still win: the *optimizer's* proposal work overlaps the
+        # batch in flight even when batches queue at this seam.
+        self._dispatch_lock = threading.Lock()
 
     # -- connection management --------------------------------------------
     def _connection(self, addr: tuple[str, int]) -> socket.socket:
@@ -399,6 +406,11 @@ class RemoteDispatcher:
         the summed worker-side hot-path deltas and ``n_worker_sims`` the
         total simulations the shards actually ran.
         """
+        with self._dispatch_lock:
+            return self._dispatch_locked(problem, token, X)
+
+    def _dispatch_locked(self, problem, token: bytes,
+                         X: np.ndarray) -> tuple[np.ndarray, dict[str, float], int]:
         token_hex = token.hex()
         # Encode the problem only when some host still needs it — the
         # steady state (every connection warm, problem shipped) pays no

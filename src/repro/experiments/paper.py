@@ -96,7 +96,8 @@ def run_parameter_table(circuit) -> str:
 # ----------------------------------------------------------------------
 def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None = None,
                                   workers: int = 1, verbose: bool = False,
-                                  engine_factory=None) -> dict:
+                                  engine_factory=None,
+                                  pipeline_depth: int = 1) -> dict:
     """Run the 4-algorithm comparison on a building block.
 
     Returns ``{"histories": ..., "stats": ..., "curves": ...}`` — everything
@@ -105,6 +106,10 @@ def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None 
     ``engine_factory`` gives every trial its own evaluation engine (e.g.
     ``lambda: EvalEngine("remote", hosts=[...])`` to target a running
     evaluation service) — also without changing any result.
+    ``pipeline_depth > 1`` overlaps each trial's proposal generation with
+    its in-flight evaluations (throughput mode; adaptive optimizers then
+    condition on a slightly stale archive, so keep it at 1 for
+    paper-protocol reproduction).
     """
     scale = scale or current_scale()
     problem_factory = lambda: circuit_cls().problem()
@@ -113,7 +118,8 @@ def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None 
     histories = compare_algorithms(optimizers, problem_factory, budget=scale.budget,
                                    n_trials=scale.n_trials, budgets=budgets,
                                    workers=workers, verbose=verbose,
-                                   engine_factory=engine_factory)
+                                   engine_factory=engine_factory,
+                                   pipeline_depth=pipeline_depth)
     stats = {name: algorithm_stats(name, hs) for name, hs in histories.items()}
     curves = {name: mean_fom_curve(hs, length=scale.budget)
               for name, hs in histories.items()}

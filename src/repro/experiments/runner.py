@@ -27,6 +27,14 @@ attaches it to the optimizer, and closes it when the trial ends.  With
 ``engine_factory=lambda: EvalEngine("remote", hosts=[...])`` every trial
 targets an already-running evaluation service (see
 :mod:`repro.core.service`).
+
+Every trial is driven by a :class:`~repro.core.Study` (the ask/tell
+driver); ``pipeline_depth > 1`` turns on pipelined dispatch inside each
+trial, overlapping the optimizer's proposal generation with in-flight
+evaluations on the async/remote backends.  Pipelined proposals condition
+on a slightly stale archive, so unlike ``workers``/``engine_factory`` this
+knob *may* change trajectories of adaptive optimizers — leave it at 1 for
+paper-protocol reproduction runs.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from functools import partial
 from typing import Callable
 
 from ..core.history import OptimizationHistory
+from ..core.study import Study
 
 __all__ = ["run_trials", "compare_algorithms"]
 
@@ -58,23 +67,34 @@ def _pool_trial(trial: int) -> OptimizationHistory:
 
 
 def _execute_trial(context: tuple, trial: int) -> OptimizationHistory:
-    factory, problem_factory, budget, base_seed, engine_factory = context
+    factory, problem_factory, budget, base_seed, engine_factory, depth = context
     problem = problem_factory()
     optimizer = factory(problem, budget, base_seed + trial)
-    if engine_factory is None:
-        return optimizer.run()
-    engine = engine_factory()
-    optimizer.engine = engine
+    engine = engine_factory() if engine_factory is not None else None
     try:
-        return optimizer.run()
+        if _is_legacy(optimizer):
+            # Third-party _run()-style optimizers cannot be driven by a
+            # Study (and cannot pipeline); keep the historic blocking path.
+            if engine is not None:
+                optimizer.engine = engine
+            return optimizer.run()
+        return Study(optimizer, engine=engine, pipeline_depth=depth).run()
     finally:
-        engine.close()
+        if engine is not None:
+            engine.close()
+
+
+def _is_legacy(optimizer) -> bool:
+    from ..core.history import Optimizer
+    return (isinstance(optimizer, Optimizer)
+            and type(optimizer)._run is not Optimizer._run)
 
 
 def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
                *, budget: int, n_trials: int, base_seed: int = 0,
                workers: int = 1, verbose: bool = False,
                engine_factory: Callable[[], object] | None = None,
+               pipeline_depth: int = 1,
                ) -> list[OptimizationHistory]:
     """Run ``n_trials`` independent optimizations with seeds
     ``base_seed, base_seed+1, ...`` (a fresh problem instance per trial).
@@ -83,11 +103,12 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
     come back in trial order and are identical to a serial run.
     ``engine_factory`` builds a per-trial :class:`~repro.core.EvalEngine`
     (e.g. pointing at a running evaluation service) that is attached to the
-    optimizer and closed after its trial.
+    optimizer and closed after its trial.  ``pipeline_depth > 1`` pipelines
+    each trial's proposal/evaluation loop (see :class:`~repro.core.Study`).
     """
     workers = max(1, int(workers))
     context = (factory, problem_factory, int(budget), int(base_seed),
-               engine_factory)
+               engine_factory, max(1, int(pipeline_depth)))
     if workers == 1 or n_trials <= 1:
         histories = []
         for trial in range(n_trials):
@@ -144,14 +165,15 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                        workers: int = 1,
                        verbose: bool = False,
                        engine_factory: Callable[[], object] | None = None,
+                       pipeline_depth: int = 1,
                        ) -> dict[str, list[OptimizationHistory]]:
     """Run every algorithm with the multi-trial protocol.
 
     ``budgets`` overrides the budget per algorithm (the paper gives DE 10000
     simulations but the model-based methods only 500); overrides are applied
     per algorithm before its trials are dispatched, so they hold under any
-    ``workers`` setting.  ``engine_factory`` is forwarded to
-    :func:`run_trials`.
+    ``workers`` setting.  ``engine_factory`` and ``pipeline_depth`` are
+    forwarded to :func:`run_trials`.
     """
     workers = max(1, int(workers))
     results: dict[str, list[OptimizationHistory]] = {}
@@ -163,5 +185,6 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
         results[name] = run_trials(factory, problem_factory, budget=algo_budget,
                                    n_trials=n_trials, base_seed=base_seed,
                                    workers=workers, verbose=verbose,
-                                   engine_factory=engine_factory)
+                                   engine_factory=engine_factory,
+                                   pipeline_depth=pipeline_depth)
     return results
