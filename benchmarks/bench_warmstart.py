@@ -1,0 +1,178 @@
+"""Warm-start transfer + persistent-cache benchmark.
+
+Measures the two things PR 5 bought:
+
+* **evals-to-donor-best, cold vs warm** (guarded) — a donor DNN-Opt run
+  leaves its archive; a warm-started DNN-Opt (same problem, new seed)
+  must re-find a design at least as good as the donor's best in
+  measurably fewer *fresh* simulations than a cold run with the same
+  seed.  The warm run tells the donor archive before its first ask, so
+  its critic/actor start pre-trained on the donor data and its LHS block
+  disappears.  Counts are fully seeded (no wall clock), so the ratio is
+  deterministic on a given numpy/BLAS stack.
+* **disk-cache hit-rate on rerun** (guarded, boolean) — the same study
+  rerun against the same ``cache_dir`` with a fresh engine must answer
+  every design from disk (zero simulations) with a bit-identical history.
+
+    PYTHONPATH=src python benchmarks/bench_warmstart.py
+    PYTHONPATH=src python benchmarks/bench_warmstart.py --check BENCH_warmstart.json
+
+Results go to ``BENCH_warmstart.json`` (override with ``--out``);
+``--check BASELINE.json`` fails when the cold/warm speedup drops more
+than 60% below the committed baseline, when the warm run stops beating
+the cold run outright, or when the disk-cache rerun stops being free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import RandomSearch
+from repro.core import DNNOpt, EvalEngine, Study, WarmStart
+from repro.problems import ConstrainedSphere
+
+#: fraction of the baseline speedup a measured speedup must retain.  The
+#: eval counts are seeded, but actor/critic training crosses BLAS, so tiny
+#: float differences can shift a proposal — keep the floor generous.
+REGRESSION_FLOOR = 0.4
+
+
+def make_dnnopt(problem, budget, seed):
+    return DNNOpt(problem, budget, seed, n_init=12, n_elite=6,
+                  critic_epochs=6, actor_epochs=6, critic_hidden=(24, 24),
+                  actor_hidden=(24, 24), max_pseudo=1000)
+
+
+def evals_to_target(history, target: float) -> int | None:
+    """1-based count of *fresh* evaluations until the running best of the
+    fresh rows reaches ``target`` (donor knowledge does not count)."""
+    fresh = history.fom[history.n_warm:]
+    reached = np.nonzero(np.minimum.accumulate(fresh) <= target)[0]
+    return int(reached[0]) + 1 if len(reached) else None
+
+
+def run(args) -> dict:
+    problem_factory = lambda: ConstrainedSphere(args.dim)
+
+    # -- donor --------------------------------------------------------------
+    donor = Study(make_dnnopt(problem_factory(), args.donor_budget,
+                              args.donor_seed)).run()
+    target = donor.best_fom
+    print(f"  donor: {donor.n_evals} evals, best FoM {target:.6f}")
+
+    # -- cold vs warm -------------------------------------------------------
+    cold = Study(make_dnnopt(problem_factory(), args.budget, args.seed)).run()
+    cold_evals = evals_to_target(cold, target)
+    warm_engine = EvalEngine("serial")
+    warm = Study(make_dnnopt(problem_factory(), args.budget, args.seed),
+                 engine=warm_engine,
+                 warm_start=WarmStart.from_history(donor)).run()
+    warm_evals = evals_to_target(warm, target)
+    # the donor archive itself must never be re-simulated
+    fresh_sims = warm.engine_stats["misses"]
+    over = args.budget + 1
+    speedup = (cold_evals or over) / (warm_evals or over)
+    print(f"  cold: evals-to-donor-best {cold_evals} "
+          f"(best {cold.best_fom:.6f})")
+    print(f"  warm: evals-to-donor-best {warm_evals} "
+          f"(best {warm.best_fom:.6f}, n_warm {warm.n_warm}, "
+          f"fresh sims {fresh_sims})  -> {speedup:.2f}x fewer")
+
+    # -- disk-cache rerun ---------------------------------------------------
+    cache_dir = tempfile.mkdtemp(prefix="bench_warmstart_cache_")
+    try:
+        make_rs = lambda: RandomSearch(problem_factory(), args.cache_budget, 3)
+        with EvalEngine(cache_dir=cache_dir) as e1:
+            h1 = Study(make_rs(), engine=e1).run()
+        with EvalEngine(cache_dir=cache_dir) as e2:
+            h2 = Study(make_rs(), engine=e2).run()
+        rerun = dict(h2.engine_stats)
+        identical = bool(np.array_equal(h1.X, h2.X)
+                         and np.array_equal(h1.F, h2.F))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    print(f"  disk rerun: misses {rerun['misses']}, disk hits "
+          f"{rerun['disk_hits']}/{args.cache_budget}, identical: {identical}")
+
+    return {
+        "host": {"machine": platform.machine(),
+                 "python": platform.python_version(), "cpus": os.cpu_count()},
+        "config": {"dim": args.dim, "donor_budget": args.donor_budget,
+                   "budget": args.budget, "cache_budget": args.cache_budget,
+                   "donor_seed": args.donor_seed, "seed": args.seed},
+        "results": {
+            "donor_best_fom": target,
+            "cold_evals_to_donor_best": cold_evals,
+            "warm_evals_to_donor_best": warm_evals,
+            "warm_fresh_simulations": fresh_sims,
+            "disk_rerun_misses": rerun["misses"],
+            "disk_rerun_hits": rerun["disk_hits"],
+            "disk_rerun_identical": identical,
+        },
+        "speedup": {"cold_vs_warm_evals": round(speedup, 3)},
+    }
+
+
+def check(report: dict, baseline_path: str) -> int:
+    baseline = json.loads(Path(baseline_path).read_text())
+    results = report["results"]
+    failures = []
+    if results["warm_evals_to_donor_best"] is None:
+        failures.append("warm run never reached the donor best FoM")
+    elif (results["cold_evals_to_donor_best"] is not None
+          and results["warm_evals_to_donor_best"]
+          > results["cold_evals_to_donor_best"]):
+        failures.append("warm start needs MORE fresh evals than a cold run")
+    floor = REGRESSION_FLOOR * baseline["speedup"]["cold_vs_warm_evals"]
+    got = report["speedup"]["cold_vs_warm_evals"]
+    status = "ok" if got >= floor else "REGRESSION"
+    print(f"  check cold_vs_warm_evals: {got:.2f}x vs floor {floor:.2f}x "
+          f"(baseline {baseline['speedup']['cold_vs_warm_evals']:.2f}x) "
+          f"-> {status}")
+    if got < floor:
+        failures.append(f"cold_vs_warm_evals {got:.2f}x below floor {floor:.2f}x")
+    if results["disk_rerun_misses"] != 0:
+        failures.append("disk-cache rerun paid simulations")
+    if results["disk_rerun_hits"] < report["config"]["cache_budget"]:
+        failures.append("disk-cache rerun was not fully answered from disk")
+    if not results["disk_rerun_identical"]:
+        failures.append("disk-cache rerun history diverged")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("warm-start transfer + disk cache within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dim", type=int, default=3)
+    parser.add_argument("--donor-budget", type=int, default=40,
+                        help="simulations in the donor run")
+    parser.add_argument("--budget", type=int, default=80,
+                        help="simulations for the cold/warm runs")
+    parser.add_argument("--cache-budget", type=int, default=30,
+                        help="simulations in the disk-cache rerun study")
+    parser.add_argument("--donor-seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_warmstart.json")
+    parser.add_argument("--check", metavar="BASELINE.json",
+                        help="fail if the transfer win regresses vs this baseline")
+    args = parser.parse_args()
+
+    print(f"warm-start transfer: ConstrainedSphere({args.dim}), donor "
+          f"{args.donor_budget} evals, cold/warm {args.budget} evals")
+    report = run(args)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        sys.exit(check(report, args.check))

@@ -16,6 +16,10 @@ including a running multi-host evaluation service:
 ``--pipeline d`` keeps up to ``d`` ask/tell batches in flight per trial
 (overlapping proposal generation with evaluations — a throughput mode that
 lets adaptive optimizers condition on a slightly stale archive).
+``--cache-dir DIR`` persists every evaluation to disk so a repeated sweep
+answers duplicate designs with zero simulations, and ``--warm-start CKPT``
+seeds every trial from a donor run's checkpoint (see
+``examples/warmstart.py``).
 """
 
 import argparse
@@ -51,13 +55,28 @@ if __name__ == "__main__":
     parser.add_argument("--pipeline", type=int, default=1, metavar="DEPTH",
                         help="ask/tell batches kept in flight per trial "
                              "(default 1 = barrier mode, the paper protocol)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent evaluation cache shared across "
+                             "trials, algorithms and reruns (also honored "
+                             "via REPRO_CACHE_DIR)")
+    parser.add_argument("--warm-start", default=None, metavar="CKPT",
+                        help="Study checkpoint to warm-start every trial "
+                             "from (same problem: donor rows told for "
+                             "free; different problem: donor designs "
+                             "mapped by variable name)")
     args = parser.parse_args()
 
     engine_factory = None
     if args.engine != "serial":
         hosts = [h for h in args.hosts.split(",") if h.strip()] or None
         engine_factory = lambda: EvalEngine(args.engine, hosts=hosts,
-                                            workers=args.engine_workers)
+                                            workers=args.engine_workers,
+                                            cache_dir=args.cache_dir)
+
+    warm_start = None
+    if args.warm_start:
+        from repro.core import WarmStart
+        warm_start = WarmStart.from_checkpoint(args.warm_start)
 
     scale = ExperimentScale(n_trials=args.trials, budget=args.budget,
                             de_budget=3 * args.budget,
@@ -66,7 +85,9 @@ if __name__ == "__main__":
     result = run_building_block_comparison(StrongArmLatch, scale=scale,
                                            workers=args.workers, verbose=True,
                                            engine_factory=engine_factory,
-                                           pipeline_depth=args.pipeline)
+                                           pipeline_depth=args.pipeline,
+                                           warm_start=warm_start,
+                                           cache_dir=args.cache_dir)
 
     print()
     print(render_stats_table(result["stats"], objective_label="power (uW)",

@@ -1,0 +1,90 @@
+"""Warm-start a sizing run from a donor run — cold vs. warm, end to end.
+
+Three acts on the StrongARM latch (use ``--synthetic`` for an instant demo
+on ConstrainedSphere):
+
+1. a *donor* DNN-Opt run is executed and checkpointed;
+2. a cold run and a warm-started run (``Study(..., warm_start=...)``) race
+   to the donor's best FoM — the warm run tells the donor archive before
+   its first ask, so its critic/actor start pre-trained and its
+   space-filling block disappears;
+3. the whole thing is repeated with ``--cache-dir``: rerunning answers
+   every repeated design from the persistent cache with zero simulations
+   (watch ``disk_hits`` in the engine stats).
+
+    python examples/warmstart.py --synthetic
+    python examples/warmstart.py --budget 60 --cache-dir /tmp/repro-cache
+"""
+
+import argparse
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import DNNOpt, EvalEngine, Study, WarmStart
+
+
+def make_problem(args):
+    if args.synthetic:
+        from repro.problems import ConstrainedSphere
+        return ConstrainedSphere(4)
+    from repro.circuits import StrongArmLatch
+    return StrongArmLatch().problem()
+
+
+def make_optimizer(problem, budget, seed, engine=None):
+    return DNNOpt(problem, budget, seed, n_init=12, n_elite=6,
+                  critic_epochs=8, actor_epochs=8, critic_hidden=(32, 32),
+                  actor_hidden=(32, 32), max_pseudo=2000, engine=engine)
+
+
+def evals_to(history, target):
+    fresh = np.minimum.accumulate(history.fom[history.n_warm:])
+    hit = np.nonzero(fresh <= target)[0]
+    return int(hit[0]) + 1 if len(hit) else None
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=50,
+                        help="simulations for the cold/warm runs")
+    parser.add_argument("--donor-budget", type=int, default=30)
+    parser.add_argument("--synthetic", action="store_true",
+                        help="run on ConstrainedSphere instead of SPICE")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent evaluation cache directory "
+                             "(default: a temp dir; also REPRO_CACHE_DIR)")
+    args = parser.parse_args()
+    cache_dir = args.cache_dir or os.path.join(tempfile.gettempdir(),
+                                               "repro-warmstart-cache")
+
+    # Act 1: the donor run, checkpointed for reuse.
+    problem = make_problem(args)
+    donor_study = Study(make_optimizer(problem, args.donor_budget, seed=0))
+    donor = donor_study.run()
+    ckpt = os.path.join(tempfile.gettempdir(), "repro-warmstart-donor.json")
+    donor_study.save(ckpt)
+    print(f"donor: {donor.n_evals} sims, best FoM {donor.best_fom:.5f} "
+          f"(checkpoint: {ckpt})")
+
+    # Act 2: cold vs. warm race to the donor's best FoM.
+    cold = Study(make_optimizer(make_problem(args), args.budget, seed=1)).run()
+    warm = Study(make_optimizer(make_problem(args), args.budget, seed=1),
+                 warm_start=WarmStart.from_checkpoint(ckpt)).run()
+    print(f"cold: reached donor best after {evals_to(cold, donor.best_fom)} "
+          f"sims (best {cold.best_fom:.5f})")
+    print(f"warm: reached donor best after {evals_to(warm, donor.best_fom)} "
+          f"sims (best {warm.best_fom:.5f}, "
+          f"{warm.n_warm} donor rows told for free)")
+
+    # Act 3: persistent cache — the same warm run again, twice.
+    for attempt in ("first", "second"):
+        with EvalEngine(cache_dir=cache_dir) as engine:
+            history = Study(
+                make_optimizer(make_problem(args), args.budget, seed=1,
+                               engine=engine),
+                warm_start=WarmStart.from_checkpoint(ckpt)).run()
+        stats = history.engine_stats
+        print(f"cached {attempt} run: {stats['misses']} simulations, "
+              f"{stats['disk_hits']} answered from {cache_dir}")

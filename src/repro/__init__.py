@@ -27,10 +27,11 @@ checkpoint/resume and pipelined dispatch.  ``optimizer.run()`` remains as
 a shim for the one-liner above.
 """
 
-from .core import BudgetExhausted, DNNOpt, OptimizationHistory, Optimizer, Study
+from .core import (BudgetExhausted, DNNOpt, OptimizationHistory, Optimizer,
+                   Study, WarmStart)
 from .problems import DesignSpace, Objective, OptimizationProblem, Spec, Variable
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DNNOpt",
@@ -38,6 +39,7 @@ __all__ = [
     "OptimizationHistory",
     "BudgetExhausted",
     "Study",
+    "WarmStart",
     "OptimizationProblem",
     "DesignSpace",
     "Variable",

@@ -58,8 +58,13 @@ class BOwEI(Optimizer):
     def _ask(self, k: int | None) -> np.ndarray:
         space = self.problem.space
         if self._init_plan is None:
-            self._init_plan = space.sample_lhs(self.rng,
-                                               min(self.n_init, self.budget))
+            # Donor-tell path (warm start): archive rows told before the
+            # first ask already condition the GPs, so they replace LHS
+            # samples one for one — a big enough donor skips the
+            # space-filling phase entirely.
+            warm = self.history.n_total
+            self._init_plan = space.sample_lhs(
+                self.rng, max(0, min(self.n_init - warm, self.budget)))
         if self._init_served < len(self._init_plan):
             stop = (len(self._init_plan) if k is None
                     else min(len(self._init_plan), self._init_served + k))

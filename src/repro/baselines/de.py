@@ -54,6 +54,18 @@ class DifferentialEvolution(Optimizer):
         if self._pop_n is None:
             self._pop_n = space.normalize(space.sample_lhs(self.rng, self.pop_size))
             self._pop_fom = np.empty(self.pop_size)
+            # Donor-tell path (warm start): rows told before the first ask
+            # seed the initial population with the best archive designs —
+            # their fitness is already known, so only the LHS remainder is
+            # served for evaluation.  Cold runs never enter this branch.
+            n_seed = min(self.history.n_total, self.pop_size)
+            if n_seed:
+                fom = self.history.fom
+                order = np.argsort(fom, kind="stable")[:n_seed]
+                self._pop_n[:n_seed] = np.clip(
+                    space.normalize(self.history.X[order]), 0.0, 1.0)
+                self._pop_fom[:n_seed] = fom[order]
+                self._init_served = self._init_told = n_seed
         if self._init_served < self.pop_size:
             stop = (self.pop_size if k is None
                     else min(self.pop_size, self._init_served + k))

@@ -57,8 +57,12 @@ class GASPAD(Optimizer):
     def _ask(self, k: int | None) -> np.ndarray:
         space = self.problem.space
         if self._init_plan is None:
-            self._init_plan = space.sample_lhs(self.rng,
-                                               min(self.n_init, self.budget))
+            # Donor-tell path (warm start): archive rows told before the
+            # first ask already feed the GP prescreen and the elite
+            # population, so they replace LHS samples one for one.
+            warm = self.history.n_total
+            self._init_plan = space.sample_lhs(
+                self.rng, max(0, min(self.n_init - warm, self.budget)))
         if self._init_served < len(self._init_plan):
             stop = (len(self._init_plan) if k is None
                     else min(len(self._init_plan), self._init_served + k))

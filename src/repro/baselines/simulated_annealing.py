@@ -58,6 +58,18 @@ class SimulatedAnnealing(Optimizer):
 
     def _ask(self, k: int | None) -> np.ndarray:
         space = self.problem.space
+        if self._current is None and self.x0 is None and self.history.n_total:
+            # Donor-tell path (warm start): rows told before the first ask
+            # hand the walk its starting point — the best archive design,
+            # fitness already measured, so no init simulation is spent and
+            # the first ask proposes perturbations immediately.
+            best = self.history.best_index
+            self._current = np.clip(
+                space.normalize(self.history.X[best]), 0.0, 1.0)
+            self._current_fom = float(self.history.fom[best])
+            self._temperature = (float(self.initial_temperature)
+                                 if self.initial_temperature is not None
+                                 else max(0.3 * abs(self._current_fom), 0.1))
         if self._current is None:
             if self.x0 is not None:
                 self._current = space.normalize(space.round(self.x0))

@@ -3,26 +3,41 @@ the ask/tell optimizer protocol and the :class:`Study` run driver."""
 
 from .actor import Actor
 from .critic import Critic
+from .diskcache import DiskCache
 from .dnn_opt import DNNOpt
 from .engine import EvalEngine, EvalHandle, default_workers
 from .fom import fom_from_raw, fom_normalized, fom_tensor
 from .history import BudgetExhausted, OptimizationHistory, Optimizer
 from .pseudo import generate_pseudo_samples
 from .study import Study
+from .warmstart import WarmStart
 
 __all__ = [
     "DNNOpt",
     "Actor",
     "Critic",
+    "DiskCache",
     "EvalEngine",
     "EvalHandle",
     "default_workers",
     "Optimizer",
     "OptimizationHistory",
     "BudgetExhausted",
+    "ServiceError",
     "Study",
+    "WarmStart",
     "fom_normalized",
     "fom_from_raw",
     "fom_tensor",
     "generate_pseudo_samples",
 ]
+
+
+def __getattr__(name):
+    # Lazy: ``python -m repro.core.service`` must not find the service
+    # module pre-imported by this package init (runpy would warn and run a
+    # second copy).
+    if name == "ServiceError":
+        from .service import ServiceError
+        return ServiceError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,219 @@
+"""Persistent, multi-process evaluation cache: append-only shards + index.
+
+:class:`DiskCache` is the on-disk tier behind ``EvalEngine(cache_dir=...)``.
+Design goals, in order:
+
+* **zero simulations for repeated designs across processes** — a sweep
+  rerun tomorrow (or in a second worker process) answers every duplicate
+  design from disk;
+* **crash safety without locking** — every *writer* appends to its own
+  shard file (one per cache instance, named by pid + random suffix), so
+  concurrent processes never contend on a write path; a record is a
+  CRC-framed blob, and a torn tail (crash or an in-progress append seen by
+  a concurrent reader) is simply not indexed yet — the reader retries from
+  the same offset on the next refresh;
+* **cheap sharing** — readers keep a per-shard byte offset and only scan
+  the appended suffix (throttled to at most one directory rescan per
+  ``refresh_interval`` seconds), so a long-lived coordinator engine sees
+  entries written by sibling processes mid-run without rescanning history.
+
+Records are keyed by the engine's content key — a blake2b digest of the
+*canonical* design bytes (``DesignSpace.canonical``: rounded, signed zeros
+normalized) mixed with the problem's content fingerprint — so two processes
+constructing the same problem agree on every key, and a rounded vs.
+unrounded view of one integer design can never split into two entries.
+
+The store is append-only: entries are immutable (a key's row is the
+deterministic simulator answer for its design) and never evicted.  Delete
+the directory to reclaim space.
+
+Record wire format (one per evaluated design)::
+
+    header  := "<16s I I"   # key digest, payload byte length, CRC32(payload)
+    payload := float64 row bytes
+
+Written as a single ``write`` + ``flush`` so readers observe prefixes of
+whole records in practice; the CRC rejects anything else.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+import zlib
+
+import numpy as np
+
+__all__ = ["DiskCache"]
+
+_HEADER = struct.Struct("<16sII")
+
+#: sanity bound on one record's payload — a larger length means a corrupt
+#: shard (a performance row is a handful of float64s), not a real record.
+MAX_ROW_BYTES = 1 << 20
+
+
+class DiskCache:
+    """Append-only on-disk key/row store shared between processes.
+
+    Parameters
+    ----------
+    directory:
+        Shard directory; created if missing.  Every cache instance writes
+        to its own shard file inside it and reads everyone's.
+    refresh_interval:
+        Minimum seconds between directory rescans on a miss (``0`` rescans
+        on every miss — useful in tests).
+    """
+
+    def __init__(self, directory: str | os.PathLike, *,
+                 refresh_interval: float = 1.0):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.refresh_interval = float(refresh_interval)
+        self._index: dict[bytes, np.ndarray] = {}
+        self._offsets: dict[str, int] = {}  # shard path -> bytes consumed
+        self._writer = None                 # lazily-opened own shard handle
+        self._writer_path: str | None = None
+        self._last_refresh = -float("inf")
+        self._lock = threading.Lock()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_corrupt = 0  # records skipped for a bad CRC/length
+        with self._lock:
+            self._refresh_locked(force=True)
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, key: bytes) -> np.ndarray | None:
+        """Row for ``key`` or ``None``; rescans shards (throttled) on a miss."""
+        with self._lock:
+            row = self._index.get(key)
+            if row is None:
+                # Another process may have appended it since the last scan.
+                self._refresh_locked()
+                row = self._index.get(key)
+            if row is None:
+                self.n_misses += 1
+                return None
+            self.n_hits += 1
+            return row
+
+    def __contains__(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    # -- writes ------------------------------------------------------------
+    def put(self, key: bytes, row: np.ndarray) -> bool:
+        """Persist one row; returns False when the key is already stored."""
+        row = np.ascontiguousarray(np.asarray(row, dtype=np.float64).ravel())
+        with self._lock:
+            if key in self._index:
+                return False
+            payload = row.tobytes()
+            record = _HEADER.pack(key, len(payload),
+                                  zlib.crc32(payload)) + payload
+            writer = self._writer_locked()
+            writer.write(record)
+            writer.flush()
+            self._index[key] = row
+            # Our own appends are indexed here; skip them when rescanning.
+            self._offsets[self._writer_path] = (
+                self._offsets.get(self._writer_path, 0) + len(record))
+            return True
+
+    def _writer_locked(self):
+        if self._writer is None:
+            name = f"shard-{os.getpid():d}-{os.urandom(4).hex()}.bin"
+            self._writer_path = os.path.join(self.directory, name)
+            self._writer = open(self._writer_path, "ab")
+            self._offsets.setdefault(self._writer_path, 0)
+        return self._writer
+
+    # -- shard scanning ----------------------------------------------------
+    def refresh(self) -> None:
+        """Index rows appended by other processes since the last scan."""
+        with self._lock:
+            self._refresh_locked(force=True)
+
+    def _refresh_locked(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_refresh < self.refresh_interval:
+            return
+        self._last_refresh = now
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return
+        for name in names:
+            if not (name.startswith("shard-") and name.endswith(".bin")):
+                continue
+            path = os.path.join(self.directory, name)
+            self._scan_shard_locked(path)
+
+    def _scan_shard_locked(self, path: str) -> None:
+        offset = self._offsets.get(path, 0)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return
+        if size <= offset:
+            return
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read(size - offset)
+        except OSError:
+            return
+        consumed = 0
+        while len(data) - consumed >= _HEADER.size:
+            key, length, crc = _HEADER.unpack_from(data, consumed)
+            start = consumed + _HEADER.size
+            if length > MAX_ROW_BYTES or length % 8:
+                # Corrupt shard: stop indexing it (and never advance past
+                # the bad record, so the damage is visible in n_corrupt).
+                self.n_corrupt += 1
+                self._offsets[path] = size  # nothing after it is framed
+                return
+            if len(data) - start < length:
+                break  # torn tail / in-progress append: retry next refresh
+            payload = data[start:start + length]
+            if zlib.crc32(payload) != crc:
+                self.n_corrupt += 1
+                self._offsets[path] = size
+                return
+            self._index.setdefault(
+                key, np.frombuffer(payload, dtype=np.float64))
+            consumed = start + length
+        self._offsets[path] = offset + consumed
+
+    # -- lifecycle ---------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._index), "hits": self.n_hits,
+                    "misses": self.n_misses, "corrupt": self.n_corrupt}
+
+    def close(self) -> None:
+        with self._lock:
+            if self._writer is not None:
+                try:
+                    self._writer.close()
+                except OSError:
+                    pass
+                self._writer = None
+
+    def __enter__(self) -> "DiskCache":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"DiskCache({self.directory!r}, entries={len(self._index)}, "
+                f"hits={self.n_hits})")

@@ -135,6 +135,13 @@ class DNNOpt(Optimizer):
         each ask retrains the actor/critic on the told archive and returns
         the top-``batch_size`` candidates (fewer when the remaining budget
         is smaller, more/less when ``k`` is given).
+
+        Archive rows told *before* the first ask — a warm start's donor
+        prefix or starting designs (see :mod:`repro.core.warmstart`) —
+        replace Latin-hypercube samples one for one: the critic/actor
+        already have an archive to train on, so the space-filling block
+        shrinks (to nothing, given a big enough donor) and the model-based
+        loop starts immediately, pre-trained on the donor data.
         """
         if self._init_plan is None:
             blocks = []
@@ -142,7 +149,9 @@ class DNNOpt(Optimizer):
             if self.initial_designs is not None:
                 blocks.append(self.initial_designs[:self.budget])
                 seeded = len(blocks[-1])
-            n_random = max(0, min(self.n_init - seeded, self.budget - seeded))
+            warm = self.history.n_total  # rows told before the first ask
+            n_random = max(0, min(self.n_init - seeded - warm,
+                                  self.budget - seeded))
             blocks.append(self.problem.space.sample_lhs(self.rng, n_random))
             blocks = [b for b in blocks if len(b)]
             self._init_plan = (np.vstack(blocks) if blocks

@@ -12,13 +12,18 @@ Every optimizer in this package funnels its simulator queries through an
   chunking — see :mod:`repro.core.service`), and ``remote`` (a coordinator
   speaking a length-prefixed JSON socket protocol to worker server
   processes on one or many hosts).
-* **memoization** — a content-hashed LRU cache keyed on the *rounded* design
-  vector bytes, so re-querying an already-simulated sizing (duplicates from
+* **memoization** — a content-hashed LRU cache keyed on the *canonical*
+  design vector bytes (``DesignSpace.canonical``: rounded, signed zeros
+  normalized), so re-querying an already-simulated sizing (duplicates from
   a collapsed elite region, integer rounding, or repeated trials on the same
   engine) never pays for a second simulation.  Under the ``remote`` backend
   this cache is the service's shared tier: the coordinator de-duplicates and
   memoizes before any chunk leaves the process, so a repeated design is
-  simulated exactly once across all shards.
+  simulated exactly once across all shards.  With ``cache_dir=`` the LRU
+  spills to a persistent append-only store
+  (:class:`~repro.core.diskcache.DiskCache`) shared between processes, so a
+  repeated *sweep* answers duplicate designs with zero simulations even
+  across runs.
 
 The engine also snapshots the simulator's hot-path counters
 (:mod:`repro.spice.profile`) around every dispatch, so
@@ -66,7 +71,8 @@ import pickle
 import threading
 import weakref
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (CancelledError, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from itertools import count
 from time import perf_counter
 
@@ -79,6 +85,9 @@ _PHASES = ("assemble_s", "solve_s", "ac_build_s", "ac_solve_s")
 
 #: env var naming default ``host:port`` shards for ``backend="remote"``
 HOSTS_ENV = "REPRO_SERVICE_HOSTS"
+
+#: env var naming a default on-disk cache directory (``cache_dir=``)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def _spice_counters():
@@ -155,7 +164,17 @@ class EvalEngine:
     workers:
         Pool size for the parallel backends (default: visible CPU count).
     cache_size:
-        Maximum number of memoized evaluations; ``0`` disables the cache.
+        Maximum number of memoized evaluations; ``0`` disables the cache
+        (the disk tier included).
+    cache_dir:
+        Optional directory for the *persistent* cache tier (see
+        :class:`~repro.core.diskcache.DiskCache`).  An in-memory miss falls
+        through to disk before any simulation is dispatched, and every
+        fresh row is appended, so repeated designs are answered with zero
+        simulations across runs *and processes* sharing the directory.
+        ``None`` (default) reads the ``REPRO_CACHE_DIR`` environment
+        variable; pass ``""``/``False`` to force the disk tier off even
+        when the variable is set.
     hosts:
         ``["host:port", ...]`` worker servers for the ``remote`` backend
         (default: the ``REPRO_SERVICE_HOSTS`` environment variable,
@@ -168,7 +187,7 @@ class EvalEngine:
     """
 
     def __init__(self, backend: str = "serial", *, workers: int | None = None,
-                 cache_size: int = 100_000, hosts=None):
+                 cache_size: int = 100_000, cache_dir=None, hosts=None):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if workers is not None and workers < 1:
@@ -186,6 +205,13 @@ class EvalEngine:
         self.workers = int(workers) if workers is not None else default_workers()
         self.cache_size = int(cache_size)
         self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+        self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+        self._disk = None
+        if self.cache_dir and self.cache_size:
+            from .diskcache import DiskCache
+            self._disk = DiskCache(self.cache_dir)
         # Problem identity: content-fingerprint tokens held behind weakrefs.
         # ``_problem_tokens`` maps a *live* instance's id() to its token; the
         # paired weakref callback removes the entry when the instance dies,
@@ -209,8 +235,10 @@ class EvalEngine:
         self._submit_executor: ThreadPoolExecutor | None = None
         self._inflight: dict[bytes, object] = {}
         self._state_lock = threading.RLock()
+        self._closed = False
         self.n_sim_calls = 0    # designs actually dispatched to the simulator
         self.n_cache_hits = 0   # designs answered from the cache
+        self.n_disk_hits = 0    # ...of which came from the persistent tier
         self.n_dedup = 0        # designs answered by an in-batch/in-flight twin
         self.n_pool_builds = 0  # process pools built over the engine's lifetime
         self.worker_sim_calls = 0  # simulations reported back by remote shards
@@ -222,17 +250,33 @@ class EvalEngine:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Shut down any worker pool / dispatcher connections (idempotent)."""
-        if self._submit_executor is not None:
-            self._submit_executor.shutdown(wait=True)
-            self._submit_executor = None
-        self._close_worker_pool()
+        """Shut down any worker pool / dispatcher connections (idempotent).
+
+        Safe to call with a :meth:`submit` batch still in flight: the
+        dispatchers are torn down *first*, so a dispatch thread blocked on
+        a remote socket errors out immediately (its :meth:`gather` raises)
+        instead of pinning the submit pool's ``shutdown(wait=True)`` —
+        previously that ordering could deadlock ``close()`` and leave
+        ``gather()`` hanging forever on a dead service.  Batches that were
+        queued but not yet started are cancelled, and their ``gather``
+        raises too.  A closed engine rejects further :meth:`submit` calls.
+        """
+        with self._state_lock:
+            self._closed = True
         if self._async is not None:
             self._async.close()
             self._async = None
         if self._remote is not None:
             self._remote.close()
             self._remote = None
+        if self._submit_executor is not None:
+            self._submit_executor.shutdown(wait=True, cancel_futures=True)
+            self._submit_executor = None
+            with self._state_lock:
+                self._inflight.clear()
+        self._close_worker_pool()
+        if self._disk is not None:
+            self._disk.close()
 
     def _close_worker_pool(self) -> None:
         """Shut down only the thread/process worker pool.
@@ -265,12 +309,14 @@ class EvalEngine:
     def evaluate_batch(self, problem, X: np.ndarray) -> np.ndarray:
         """Raw performance rows for a batch of designs, in input order.
 
-        Designs are rounded through ``problem.space.round`` before hashing so
-        the cache key always matches the sizing that would be simulated.
+        Designs are canonicalized through ``problem.space.canonical``
+        (rounded to the sizing that would be simulated, signed zeros
+        normalized) before hashing, so a rounded and an unrounded view of
+        the same integer design always share one cache/dedup entry.
         Duplicate designs within one batch are simulated once (cache enabled
         or not).
         """
-        X = problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        X = problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         token = self._problem_token(problem)
         keys = [self._key(token, x) for x in X]
 
@@ -304,9 +350,10 @@ class EvalEngine:
                     for name, value in profile.delta(before).items():
                         self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
                 self.n_sim_calls += len(pending_rows)
+                durable = self._durable(token)
                 for key, row in zip(pending_keys, fresh):
                     key_to_row[key] = row
-                    self._cache_put(key, row)
+                    self._cache_put(key, row, durable)
 
         return np.vstack([key_to_row[key] for key in keys])
 
@@ -328,7 +375,7 @@ class EvalEngine:
         counters cannot be attributed per dispatch); the cache/dedup/call
         counters stay exact.
         """
-        X = problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        X = problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         token = self._problem_token(problem)
         keys = [self._key(token, x) for x in X]
         resolved: dict[bytes, np.ndarray] = {}
@@ -362,10 +409,20 @@ class EvalEngine:
         return EvalHandle(keys, resolved, waits)
 
     def gather(self, handle: EvalHandle) -> np.ndarray:
-        """Rows for a submitted batch, in input order (blocks until done)."""
+        """Rows for a submitted batch, in input order (blocks until done).
+
+        Raises whatever the dispatch raised; a batch cancelled by
+        :meth:`close` before it started raises a ``RuntimeError`` instead
+        of blocking forever on a ticket nobody will redeem.
+        """
         rows = dict(handle.resolved)
         for key, future in handle.waits.items():
-            rows[key] = future.result()[key]
+            try:
+                rows[key] = future.result()[key]
+            except CancelledError:
+                raise RuntimeError(
+                    "EvalEngine was closed while the submitted batch was "
+                    "still pending") from None
         return np.vstack([rows[key] for key in handle.keys])
 
     def _run_submitted(self, problem, X: np.ndarray, token: bytes,
@@ -388,12 +445,15 @@ class EvalEngine:
                 for name, value in profile.delta(before).items():
                     self.phase_counters[name] = self.phase_counters.get(name, 0.0) + value
             self.n_sim_calls += len(X)
+            durable = self._durable(token)
             for key, row in zip(keys, fresh):
-                self._cache_put(key, row)
+                self._cache_put(key, row, durable)
                 self._inflight.pop(key, None)
         return dict(zip(keys, fresh))
 
     def _submit_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError("EvalEngine is closed")
         if self._submit_executor is None:
             self._submit_executor = ThreadPoolExecutor(
                 max_workers=max(4, self.workers),
@@ -418,7 +478,13 @@ class EvalEngine:
             return token
         token = self._fingerprint(problem)
         if token is None:
-            token = b"anon:%d" % next(self._anon_tokens)
+            # Unpicklable problem: no content identity.  The random suffix
+            # keeps two engines' (or processes') anonymous tokens from ever
+            # colliding; anonymous keys are additionally kept out of the
+            # persistent disk tier (see ``_cache_put``) — a counter-based
+            # token restarting at 0 per process used to let two *different*
+            # unpicklable problems answer each other's designs from disk.
+            token = b"anon:%d:" % next(self._anon_tokens) + os.urandom(8)
         self._problem_tokens[pid] = token
         tokens, wrefs, pins = (self._problem_tokens, self._problem_wrefs,
                                self._problem_pins)
@@ -444,6 +510,13 @@ class EvalEngine:
         return hashlib.blake2b(blob, digest_size=16).digest()
 
     @staticmethod
+    def _durable(problem_token: bytes) -> bool:
+        """Only content-fingerprinted problems may touch the disk tier: an
+        anonymous token has no cross-process identity, so persisting its
+        keys could only ever produce collisions, never legitimate hits."""
+        return not problem_token.startswith(b"anon:")
+
+    @staticmethod
     def _key(problem_token: bytes, x: np.ndarray) -> bytes:
         digest = hashlib.blake2b(np.ascontiguousarray(x).tobytes(),
                                  digest_size=16)
@@ -457,15 +530,56 @@ class EvalEngine:
         row = self._cache.get(key)
         if row is not None:
             self._cache.move_to_end(key)
-        return row
+            return row
+        if self._disk is not None:
+            row = self._disk.get(key)
+            if row is not None:
+                # Promote without re-appending: the entry is already durable.
+                self.n_disk_hits += 1
+                self._cache[key] = row
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                return row
+        return None
 
-    def _cache_put(self, key: bytes, row: np.ndarray) -> None:
+    def _cache_put(self, key: bytes, row: np.ndarray, durable: bool = True) -> None:
         if self.cache_size == 0:
             return
         self._cache[key] = row
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
+        if durable and self._disk is not None:
+            self._disk.put(key, row)
+
+    def seed_cache(self, problem, X: np.ndarray, F: np.ndarray) -> int:
+        """Pre-load known evaluations (e.g. a donor run's archive).
+
+        Each ``(design, row)`` pair is canonicalized, keyed exactly like a
+        fresh evaluation, and stored in the memory cache (and the disk tier
+        when configured) — so a warm-started optimizer that re-proposes a
+        donor design is answered without a simulation.  Existing entries
+        are never overwritten.  Returns the number of entries added.
+        """
+        X = problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        F = np.atleast_2d(np.asarray(F, dtype=np.float64))
+        if len(X) != len(F):
+            raise ValueError(f"seed_cache got {len(X)} designs but {len(F)} rows")
+        if self.cache_size == 0:
+            return 0
+        added = 0
+        with self._state_lock:
+            token = self._problem_token_locked(problem)
+            durable = self._durable(token)
+            for x, row in zip(X, F):
+                key = self._key(token, x)
+                if key in self._cache or (self._disk is not None
+                                          and key in self._disk):
+                    continue
+                self._cache_put(key, row.copy(), durable)
+                added += 1
+        return added
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch(self, problem, X: np.ndarray, token: bytes) -> np.ndarray:
@@ -535,6 +649,8 @@ class EvalEngine:
     def _async_dispatcher(self):
         with self._state_lock:
             if self._async is None:
+                if self._closed:
+                    raise RuntimeError("EvalEngine is closed")
                 from .service import AsyncDispatcher
                 self._async = AsyncDispatcher(self.workers)
             return self._async
@@ -542,6 +658,8 @@ class EvalEngine:
     def _remote_dispatcher(self):
         with self._state_lock:
             if self._remote is None:
+                if self._closed:
+                    raise RuntimeError("EvalEngine is closed")
                 from .service import RemoteDispatcher
                 self._remote = RemoteDispatcher(self.hosts)
             return self._remote
@@ -569,5 +687,6 @@ class EvalEngine:
 
     def __repr__(self) -> str:
         hosts = f", hosts={self.hosts!r}" if self.backend == "remote" else ""
+        disk = f", cache_dir={self.cache_dir!r}" if self.cache_dir else ""
         return (f"EvalEngine(backend={self.backend!r}, workers={self.workers}, "
-                f"cache={len(self._cache)}/{self.cache_size}{hosts})")
+                f"cache={len(self._cache)}/{self.cache_size}{hosts}{disk})")

@@ -48,7 +48,17 @@ class BudgetExhausted(Exception):
 
 
 class OptimizationHistory:
-    """Append-only record of an optimization run."""
+    """Append-only record of an optimization run.
+
+    A history may start with a *warm prefix*: ``n_warm`` leading rows that
+    were transferred from a donor run (see :mod:`repro.core.warmstart`)
+    rather than simulated by this run.  Archive views (:attr:`X`, :attr:`F`,
+    :attr:`fom`, :attr:`best_index`, ...) span the full record — the
+    knowledge the run conditions on — while the *cost* accounting
+    (:attr:`n_evals`, :attr:`evals_to_first_feasible`) counts only the
+    fresh rows this run actually paid simulations for.  Histories without a
+    warm start have ``n_warm == 0`` and behave exactly as before.
+    """
 
     def __init__(self, problem, optimizer_name: str, seed: int):
         self.problem = problem
@@ -60,6 +70,8 @@ class OptimizationHistory:
         self._feasible: list[bool] = []
         self.modeling_time = 0.0
         self.simulation_time = 0.0
+        #: leading rows transferred from a donor run (cost-free for this run)
+        self.n_warm = 0
         #: engine cache/dedup counter deltas for the run that produced this
         #: history (attached by the Study driver; ``None`` until a run ends).
         self.engine_stats: dict | None = None
@@ -93,6 +105,12 @@ class OptimizationHistory:
 
     @property
     def n_evals(self) -> int:
+        """Simulations *this run* paid for (the warm prefix is free)."""
+        return len(self._X) - self.n_warm
+
+    @property
+    def n_total(self) -> int:
+        """All archive rows, warm prefix included."""
         return len(self._X)
 
     # -- summaries -----------------------------------------------------------
@@ -117,8 +135,10 @@ class OptimizationHistory:
 
     @property
     def evals_to_first_feasible(self) -> int | None:
-        """1-based simulation count at the first feasible design (None if never)."""
-        for i, ok in enumerate(self._feasible):
+        """1-based simulation count at the first feasible design (None if
+        never).  Counts fresh rows only: a feasible donor row in the warm
+        prefix cost this run nothing and is not a simulation spent."""
+        for i, ok in enumerate(self._feasible[self.n_warm:]):
             if ok:
                 return i + 1
         return None
@@ -155,6 +175,8 @@ class OptimizationHistory:
             "modeling_time_s": self.modeling_time,
             "simulation_time_s": self.simulation_time,
         }
+        if self.n_warm:
+            out["n_warm"] = self.n_warm
         if self.engine_stats is not None:
             out["engine"] = dict(self.engine_stats)
         return out
@@ -165,18 +187,28 @@ class OptimizationHistory:
 
         Float arrays are emitted as nested lists; Python's ``repr``-based
         float serialization is shortest-round-trip, so a
-        :meth:`from_dict` reload reproduces every value bit-exactly.
+        :meth:`from_dict` reload reproduces every value bit-exactly.  The
+        ``fom`` list is informational (consumers like
+        :meth:`repro.core.WarmStart.from_checkpoint` rank donor rows by
+        it without a live problem instance); :meth:`from_dict` recomputes
+        it from the raw rows instead of trusting the payload.
         """
         return {
             "optimizer_name": self.optimizer_name,
             "problem_name": self.problem.name,
             "seed": int(self.seed),
             "n_evals": self.n_evals,
+            "n_warm": int(self.n_warm),
             "X": [list(map(float, x)) for x in self._X],
             "F": [list(map(float, f)) for f in self._F],
+            "fom": [float(v) for v in self._fom],
             "modeling_time_s": float(self.modeling_time),
             "simulation_time_s": float(self.simulation_time),
-            "engine": dict(self.engine_stats) if self.engine_stats else None,
+            # ``{}`` means "ran with zero counters", ``None`` means "no
+            # engine info was ever attached" — a truthiness check here used
+            # to collapse the former into the latter on reload.
+            "engine": dict(self.engine_stats) if self.engine_stats is not None
+                      else None,
         }
 
     @classmethod
@@ -192,9 +224,10 @@ class OptimizationHistory:
         for x, f in zip(data["X"], data["F"]):
             history.append(np.asarray(x, dtype=np.float64),
                            np.asarray(f, dtype=np.float64))
+        history.n_warm = int(data.get("n_warm", 0))
         history.modeling_time = float(data.get("modeling_time_s", 0.0))
         history.simulation_time = float(data.get("simulation_time_s", 0.0))
-        if data.get("engine"):
+        if data.get("engine") is not None:
             history.engine_stats = dict(data["engine"])
         return history
 
@@ -274,12 +307,13 @@ class Optimizer(ABC):
     def tell(self, X: np.ndarray, F: np.ndarray) -> None:
         """Observe raw performance rows ``F`` for evaluated designs ``X``.
 
-        Designs are rounded through ``problem.space.round`` (the sizing that
-        was actually simulated) before being recorded; each row is appended
+        Designs are canonicalized through ``problem.space.canonical`` (the
+        sizing that was actually simulated, signed zeros normalized to match
+        the engine's cache keys) before being recorded; each row is appended
         to the history and handed to :meth:`_observe` in order, so stateful
         optimizers see results exactly as the serial protocol would.
         """
-        X = self.problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        X = self.problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         F = np.atleast_2d(np.asarray(F, dtype=np.float64))
         if len(X) != len(F):
             raise ValueError(f"tell() got {len(X)} designs but {len(F)} rows")
@@ -316,7 +350,7 @@ class Optimizer(ABC):
         remaining = self.budget - self.history.n_evals
         if remaining <= 0:
             raise BudgetExhausted
-        X = self.problem.space.round(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        X = self.problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         X = X[:remaining]
         start = time.perf_counter()
         F = self.engine.evaluate_batch(self.problem, X)

@@ -85,6 +85,7 @@ __all__ = [
     "AsyncDispatcher",
     "RemoteDispatcher",
     "EvalWorkerServer",
+    "ServiceError",
     "send_msg",
     "recv_msg",
     "parse_host",
@@ -93,6 +94,17 @@ __all__ = [
 ]
 
 PROTOCOL_VERSION = 1
+
+
+class ServiceError(RuntimeError):
+    """The evaluation service could not complete a dispatch.
+
+    Raised by the ``remote`` backend when a batch cannot be finished —
+    every shard died or rejected its work, a chunk exhausted its bounded
+    requeue budget, or the dispatcher was closed with work in flight.  The
+    message carries the per-host failure trail so a dead service reads as
+    an operational problem, not a mystery hang.
+    """
 
 #: refuse frames above this size — a longer length prefix means a corrupt
 #: stream or a non-protocol peer, not a real request.
@@ -324,15 +336,26 @@ class RemoteDispatcher:
     worker's *rejection* of a well-delivered request (the evaluation itself
     raised) aborts the dispatch immediately — retrying a deterministic
     failure on another shard would just fail there too.
+
+    Failover is *bounded*: a chunk is re-queued at most
+    ``max_chunk_requeues`` times (default: twice per configured host), so
+    the death of the final live host — or a chunk that kills every shard
+    it lands on — surfaces as a prompt :class:`ServiceError` carrying the
+    per-host failure trail instead of a requeue spin or an opaque hang.
     """
 
-    def __init__(self, hosts, *, connect_timeout: float = 10.0):
+    def __init__(self, hosts, *, connect_timeout: float = 10.0,
+                 max_chunk_requeues: int | None = None):
         self.addresses = [parse_host(h) for h in hosts]
         if not self.addresses:
             raise ValueError("remote dispatch needs at least one host")
         self.connect_timeout = float(connect_timeout)
+        self.max_chunk_requeues = (2 * len(self.addresses)
+                                   if max_chunk_requeues is None
+                                   else int(max_chunk_requeues))
         self._conns: dict[tuple[str, int], socket.socket] = {}
         self._shipped: dict[tuple[str, int], set[str]] = {}
+        self._closed = False
         self._lock = threading.Lock()
         # One dispatch at a time per coordinator: the persistent per-host
         # sockets carry strictly request/reply frames, so two overlapping
@@ -344,6 +367,8 @@ class RemoteDispatcher:
 
     # -- connection management --------------------------------------------
     def _connection(self, addr: tuple[str, int]) -> socket.socket:
+        if self._closed:
+            raise ServiceError("remote dispatcher is closed")
         conn = self._conns.get(addr)
         if conn is not None:
             return conn
@@ -363,11 +388,21 @@ class RemoteDispatcher:
         self._shipped.pop(addr, None)
         if conn is not None:
             try:
+                # Unblock any thread parked in recv on this socket before
+                # releasing the fd — close() alone can leave a concurrent
+                # reader waiting on a kernel buffer that never fills.
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 conn.close()
             except OSError:
                 pass
 
     def close(self) -> None:
+        """Drop every connection; in-flight dispatches fail with
+        :class:`ServiceError` instead of waiting on dead sockets."""
+        self._closed = True
         for addr in list(self._conns):
             self._drop_connection(addr)
 
@@ -421,7 +456,11 @@ class RemoteDispatcher:
         blob = self._encode_problem(problem) if need_ship else None
 
         out: list = [None] * len(X)
-        pending = deque(_chunk_ranges(len(X), len(self.addresses)))
+        # Each pending entry carries its requeue count; a chunk that has
+        # already burned through ``max_chunk_requeues`` hosts is abandoned
+        # (fatal) rather than re-queued forever while hosts keep dying.
+        pending = deque((start, stop, 0)
+                        for start, stop in _chunk_ranges(len(X), len(self.addresses)))
         counters_total: dict[str, float] = {}
         sims_total = 0
         errors: list[str] = []
@@ -468,7 +507,7 @@ class RemoteDispatcher:
                 with self._lock:
                     if fatal or not pending:
                         return
-                    start, stop = pending.popleft()
+                    start, stop, requeues = pending.popleft()
                 try:
                     reply = eval_chunk(conn, addr, start, stop)
                 except RemoteDispatcher._EvalRejected as exc:
@@ -479,8 +518,13 @@ class RemoteDispatcher:
                     return
                 except Exception as exc:
                     with self._lock:
-                        pending.append((start, stop))
                         errors.append(f"{label}: {exc}")
+                        if requeues < self.max_chunk_requeues:
+                            pending.append((start, stop, requeues + 1))
+                        else:
+                            fatal.append(
+                                f"chunk [{start}:{stop}] abandoned after "
+                                f"{requeues} failovers")
                     self._drop_connection(addr)
                     return
                 rows = reply["F"]
@@ -497,10 +541,13 @@ class RemoteDispatcher:
         for t in threads:
             t.join()
         if fatal:
-            raise RuntimeError("remote evaluation rejected: " + "; ".join(fatal))
+            raise ServiceError("remote evaluation rejected: " + "; ".join(fatal))
         if any(row is None for row in out):
-            raise RuntimeError(
-                "remote evaluation failed on all hosts: " + "; ".join(errors))
+            # Every thread has exited (the last live host died mid-chunk,
+            # or the dispatcher was closed) with rows still missing.
+            detail = "; ".join(errors) if errors else "dispatcher closed"
+            raise ServiceError(
+                "remote evaluation failed on all hosts: " + detail)
         return np.vstack(out), counters_total, sims_total
 
 

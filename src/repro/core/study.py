@@ -19,12 +19,16 @@ generation out of the optimizers and into one place:
 * **callbacks** — each ``callback(study)`` fires after every told batch;
 * **checkpoint/resume** — :meth:`save` writes a plain-JSON snapshot
   (a :meth:`~repro.core.history.OptimizationHistory.to_dict` payload plus
-  run metadata); :meth:`load` arms a fresh, identically-constructed
-  optimizer with a *replay store*, so the resumed run re-derives its
-  internal state (RNG stream included) by re-asking and answering the
-  recorded prefix from the store instead of the simulator, then continues
-  with real evaluations — histories are bit-identical to an uninterrupted
-  run on a deterministic problem.
+  run metadata and the design-space description); :meth:`load` arms a
+  fresh, identically-constructed optimizer with a *replay store*, so the
+  resumed run re-derives its internal state (RNG stream included) by
+  re-asking and answering the recorded prefix from the store instead of
+  the simulator, then continues with real evaluations — histories are
+  bit-identical to an uninterrupted run on a deterministic problem;
+* **warm start** — ``Study(optimizer, warm_start=WarmStart.from_checkpoint(
+  path))`` transfers a donor run's archive in before the first ask (see
+  :mod:`repro.core.warmstart`): told for free on the same problem, mapped
+  into starting designs across problems.
 
 Determinism contract: with ``pipeline_depth=1`` a study drives each
 optimizer exactly like the historic blocking loop (same RNG consumption,
@@ -51,8 +55,8 @@ from .engine import EvalEngine
 __all__ = ["Study", "engine_counter_snapshot", "attach_engine_stats"]
 
 #: engine counters surfaced per run in ``OptimizationHistory.summary()``
-_ENGINE_COUNTERS = ("n_cache_hits", "n_sim_calls", "n_dedup", "n_pool_builds",
-                    "worker_sim_calls")
+_ENGINE_COUNTERS = ("n_cache_hits", "n_disk_hits", "n_sim_calls", "n_dedup",
+                    "n_pool_builds", "worker_sim_calls")
 
 CHECKPOINT_FORMAT = 1
 
@@ -75,6 +79,7 @@ def attach_engine_stats(history, engine, before: dict[str, int]) -> None:
     history.engine_stats = {
         "backend": getattr(engine, "backend", "?"),
         "cache_hits": delta["n_cache_hits"],
+        "disk_hits": delta["n_disk_hits"],
         "misses": delta["n_sim_calls"],
         "dedups": delta["n_dedup"],
         "n_pool_builds": delta["n_pool_builds"],
@@ -118,6 +123,15 @@ class Study:
     checkpoint_path / checkpoint_every:
         When both are set, :meth:`save` runs automatically every
         ``checkpoint_every`` batches.
+    warm_start:
+        Optional :class:`~repro.core.warmstart.WarmStart` — a donor run's
+        archive to transfer in before the first ask.  Same-problem donors
+        are *told* as a cost-free warm prefix (and seed the engine cache);
+        cross-problem donors contribute mapped starting designs that the
+        study simulates as its first batch.  Applied here (at construction)
+        so the warm history is inspectable before :meth:`run`.  Warm rows
+        never trigger ``stop_when_feasible`` — the run looks for its own
+        feasible design.
     """
 
     def __init__(self, optimizer, *, engine: EvalEngine | None = None,
@@ -126,7 +140,8 @@ class Study:
                  callbacks=(),
                  stop_when: Callable | None = None,
                  checkpoint_path: str | None = None,
-                 checkpoint_every: int = 0):
+                 checkpoint_every: int = 0,
+                 warm_start=None):
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
         if ask_size is not None and ask_size < 1:
@@ -144,12 +159,24 @@ class Study:
         self.checkpoint_every = int(checkpoint_every)
         self.n_batches = 0  # batches told so far
         self._stop_requested = False
-        # Replay store armed by :meth:`load`: rounded-design-bytes -> raw row,
-        # plus bookkeeping to detect an optimizer that fails to re-derive the
-        # recorded proposal stream (wrong hyperparameters).
+        # Replay store armed by :meth:`load`: canonical-design-bytes -> raw
+        # row, plus bookkeeping to detect an optimizer that fails to
+        # re-derive the recorded proposal stream (wrong hyperparameters).
         self._replay: dict[bytes, np.ndarray] = {}
         self._replay_total = 0   # recorded rows the resume must re-propose
         self._replay_served = 0  # rows answered from the store so far
+        # Warm start: donor starting designs the driver simulates before
+        # the optimizer's first ask (``designs`` mode), and the applied
+        # transfer report (``None`` for cold studies).
+        self._seed_designs: np.ndarray | None = None
+        self._n_seed_designs = 0
+        self.warm_report: dict | None = None
+        if warm_start is not None:
+            report = warm_start.apply(optimizer)
+            if report["mode"] == "designs":
+                self._seed_designs = report.pop("designs")
+                self._n_seed_designs = len(self._seed_designs)
+            self.warm_report = report
 
     # -- conveniences -------------------------------------------------------
     @property
@@ -185,6 +212,17 @@ class Study:
         proposed = history.n_evals
         stop = self._stop_requested
         try:
+            if self._seed_designs is not None:
+                # Warm-start (designs mode): the donor's mapped starting
+                # points are the run's first batch — simulated and told
+                # before the optimizer's first ask, replacing part of its
+                # space-filling start with donor-informed designs.
+                X0 = problem.space.canonical(self._seed_designs)[:budget - proposed]
+                self._seed_designs = None
+                self._n_seed_designs = len(X0)
+                if len(X0):
+                    proposed += len(X0)
+                    inflight.append(self._launch(problem, engine, X0))
             while history.n_evals < budget and not stop:
                 # Fill the pipeline.  Speculative asks (ask before the
                 # previous tell) only start once something has been told.
@@ -194,7 +232,7 @@ class Study:
                     X = opt.ask(self.ask_size)
                     if len(X) == 0:
                         break  # optimizer is waiting on outstanding tells
-                    X = problem.space.round(X)[:budget - proposed]
+                    X = problem.space.canonical(X)[:budget - proposed]
                     proposed += len(X)
                     inflight.append(self._launch(problem, engine, X))
                 if not inflight:
@@ -234,8 +272,11 @@ class Study:
 
     # -- dispatch -----------------------------------------------------------
     def _launch(self, problem, engine, X: np.ndarray):
-        """Start evaluating a rounded batch; returns an in-flight record."""
+        """Start evaluating a canonicalized batch; returns an in-flight record."""
         if self._replay:
+            # X is already canonical (run() canonicalizes every batch), so
+            # these bytes line up with the store keys built by load() — the
+            # same representation the engine cache hashes.
             keys = [np.ascontiguousarray(x).tobytes() for x in X]
             if all(key in self._replay for key in keys):
                 F = np.vstack([self._replay[key] for key in keys])
@@ -286,8 +327,16 @@ class Study:
 
     # -- checkpoint / resume -------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Write a plain-JSON checkpoint of the run so far (atomic replace)."""
+        """Write a plain-JSON checkpoint of the run so far (atomic replace).
+
+        The payload carries the design-space description (variable names,
+        bounds, kinds) alongside the history, which makes a checkpoint a
+        self-contained transfer donor for
+        :meth:`repro.core.WarmStart.from_checkpoint` — cross-problem
+        mapping needs the donor names and bounds, not just the rows.
+        """
         opt = self.optimizer
+        space = opt.problem.space
         data = {
             "format": CHECKPOINT_FORMAT,
             "optimizer": {
@@ -301,10 +350,17 @@ class Study:
                 "name": opt.problem.name,
                 "dim": opt.problem.dim,
                 "fingerprint": _problem_fingerprint(opt.problem),
+                "space": {
+                    "names": list(space.names),
+                    "lower": [float(v) for v in space.lower],
+                    "upper": [float(v) for v in space.upper],
+                    "kinds": [v.kind for v in space.variables],
+                },
             },
             "study": {"pipeline_depth": self.pipeline_depth,
                       "ask_size": self.ask_size,
-                      "n_batches": self.n_batches},
+                      "n_batches": self.n_batches,
+                      "n_seed_designs": self._n_seed_designs},
             "history": opt.history.to_dict(),
         }
         path = os.fspath(path)
@@ -329,7 +385,15 @@ class Study:
         as the re-derived proposal stream stops matching the recorded one.
         Call :meth:`Study.run` on the result to finish the run; the final
         history is bit-identical to an uninterrupted one.
+
+        A checkpoint of a *warm-started* study resumes without a
+        ``warm_start`` argument: the recorded warm prefix (and any donor
+        seed-design batch) is re-applied straight from the payload.
         """
+        if "warm_start" in study_kwargs:
+            raise ValueError(
+                "do not pass warm_start to Study.load: the checkpoint "
+                "already carries the applied warm-start prefix")
         with open(os.fspath(path), encoding="utf-8") as fh:
             data = json.load(fh)
         if data.get("format") != CHECKPOINT_FORMAT:
@@ -354,17 +418,35 @@ class Study:
         if mismatches:
             raise ValueError("checkpoint does not match the optimizer: "
                              + "; ".join(mismatches))
-        if optimizer.history.n_evals:
+        if optimizer.history.n_total:
             raise ValueError("resume needs a fresh (unrun) optimizer instance")
         study_kwargs.setdefault("pipeline_depth", data["study"]["pipeline_depth"])
         study_kwargs.setdefault("ask_size", data["study"].get("ask_size"))
         study = cls(optimizer, engine=engine, **study_kwargs)
         space = optimizer.problem.space
-        for x, f in zip(data["history"]["X"], data["history"]["F"]):
+        recorded = data["history"]
+        n_warm = int(recorded.get("n_warm", 0))
+        if n_warm:
+            # Re-apply the donor prefix exactly as the saved run had it:
+            # told before the first ask, cost-free, cache-seeded.
+            Xw = np.asarray(recorded["X"][:n_warm], dtype=np.float64)
+            Fw = np.asarray(recorded["F"][:n_warm], dtype=np.float64)
+            optimizer.tell(Xw, Fw)
+            optimizer.history.n_warm = n_warm
+            optimizer.engine.seed_cache(optimizer.problem, Xw, Fw)
+        n_seed = int(data["study"].get("n_seed_designs", 0))
+        if n_seed:
+            # Donor starting designs (cross-problem warm start) were the
+            # run's first fresh batch; rebuild the seed block so run()
+            # re-launches it (the replay store answers the rows).
+            study._seed_designs = np.asarray(
+                recorded["X"][n_warm:n_warm + n_seed], dtype=np.float64)
+            study._n_seed_designs = len(study._seed_designs)
+        for x, f in zip(recorded["X"][n_warm:], recorded["F"][n_warm:]):
             key = np.ascontiguousarray(
-                space.round(np.asarray(x, dtype=np.float64))).tobytes()
+                space.canonical(np.asarray(x, dtype=np.float64))).tobytes()
             study._replay.setdefault(key, np.asarray(f, dtype=np.float64))
-        study._replay_total = len(data["history"]["X"])
+        study._replay_total = len(recorded["X"]) - n_warm
         # The prefix's simulator cost is real and will not be re-paid (replay
         # answers it from the store), so carry it over; modeling time is NOT
         # carried — the resume re-runs the prefix's model fits for real and

@@ -1,0 +1,298 @@
+"""Warm-starting and cross-run transfer on the ask/tell seam.
+
+A finished sizing run leaves two reusable artifacts: its archive of
+``(design, performance)`` rows and — for DNN-Opt — everything the
+actor/critic learned from that archive.  Because DNN-Opt retrains its
+networks from the archive every iteration (Algorithm 1 line 3), *the
+archive is the model state*: seeding a new run's archive with donor rows
+is exactly "pre-training the critic and actor on the donor run".
+:class:`WarmStart` packages a donor archive so any
+:class:`~repro.core.Study` can start from it::
+
+    ws = WarmStart.from_checkpoint("donor.ckpt.json")   # or .from_history(h)
+    Study(DNNOpt(problem, budget=200), warm_start=ws).run()
+
+Two transfer modes, resolved per target problem:
+
+* **tell** (same problem — the donor's content fingerprint matches): the
+  donor rows are *told* to the optimizer before its first ask, becoming a
+  cost-free warm prefix of the history (``history.n_warm``); the engine
+  cache is seeded with the same rows so even a re-proposed donor design
+  never reaches the simulator.  Model-based optimizers (DNN-Opt, BO-wEI,
+  GASPAD) condition on the donor archive from their first proposal and
+  shrink their LHS init block accordingly; DE seeds its initial population
+  and SA its starting point from the best donor designs.
+* **designs** (different problem — cross-circuit transfer a la GCN-RL /
+  RoSE-Opt's knowledge-infused starting points): donor *designs* are
+  mapped into the target's :class:`~repro.problems.base.DesignSpace` —
+  variables matched **by name**, values transferred in normalized
+  ``[0, 1]`` coordinates, target dimensions with no donor counterpart
+  resampled (seed-deterministically), donor-only dimensions dropped — and
+  the Study simulates the best-FoM mapped designs as its first batch,
+  replacing the space-filling start with donor-informed points.  Donor
+  performance rows cannot transfer across problems and are discarded.
+
+``mode="auto"`` (default) picks ``tell`` exactly when the donor problem
+fingerprint matches the target's; force ``mode="designs"`` to treat even a
+same-problem donor as starting points only.
+
+Everything here is plain data (arrays + the donor space description), so a
+:class:`WarmStart` pickles cleanly into ``run_trials(workers=N)`` worker
+processes, and :meth:`from_checkpoint` needs no live donor problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["WarmStart"]
+
+#: mixed into the resampling RNG seed so warm-start draws never collide
+#: with the optimizer's own stream
+_RESAMPLE_SALT = 0x5741524D  # "WARM"
+
+
+class WarmStart:
+    """A donor archive prepared for transfer into a new run.
+
+    Parameters
+    ----------
+    X, F:
+        Donor designs (physical units, donor space) and their raw
+        performance rows, aligned.
+    names, lower, upper:
+        The donor design space description (variable names and box
+        bounds), required for cross-problem mapping.  Taken from
+        ``space=`` when given.  Without names, only a same-dimension
+        positional transfer is possible.
+    fom:
+        Donor FoM per row (used to rank designs in ``designs`` mode);
+        falls back to the raw objective column when absent.
+    fingerprint:
+        Hex content fingerprint of the donor problem — what ``auto`` mode
+        compares against the target problem to recognize a same-problem
+        transfer.
+    mode:
+        ``"auto"`` | ``"tell"`` | ``"designs"`` (see module docstring).
+    max_designs:
+        In ``designs`` mode, how many donor designs to carry over (the
+        best by donor FoM; default 16).  ``tell`` mode always transfers
+        the full archive — the models want all of it.
+    source:
+        Free-form provenance label for reports.
+    """
+
+    def __init__(self, X, F, *, space=None, names=None, lower=None, upper=None,
+                 fom=None, fingerprint: str | None = None, mode: str = "auto",
+                 max_designs: int | None = 16, source: str = ""):
+        if mode not in ("auto", "tell", "designs"):
+            raise ValueError(f"mode must be auto|tell|designs, got {mode!r}")
+        self.X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        self.F = np.atleast_2d(np.asarray(F, dtype=np.float64))
+        if len(self.X) != len(self.F):
+            raise ValueError(f"donor X has {len(self.X)} rows, F has {len(self.F)}")
+        if len(self.X) == 0:
+            raise ValueError("warm start needs at least one donor row")
+        if space is not None:
+            names = list(space.names)
+            lower, upper = space.lower, space.upper
+        self.names = None if names is None else [str(n) for n in names]
+        self.lower = None if lower is None else np.asarray(lower, dtype=np.float64)
+        self.upper = None if upper is None else np.asarray(upper, dtype=np.float64)
+        if (self.lower is None) != (self.upper is None):
+            raise ValueError("donor bounds need both lower and upper")
+        if self.names is not None and self.lower is not None \
+                and len(self.names) != len(self.lower):
+            raise ValueError("donor names and bounds disagree on dimension")
+        self.fom = (np.asarray(fom, dtype=np.float64) if fom is not None
+                    else self.F[:, 0].copy())
+        if len(self.fom) != len(self.X):
+            raise ValueError("donor fom length must match the rows")
+        self.fingerprint = fingerprint
+        self.mode = mode
+        self.max_designs = None if max_designs is None else int(max_designs)
+        self.source = source
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_history(cls, history, **kwargs) -> "WarmStart":
+        """Donor = a live :class:`OptimizationHistory` (problem attached)."""
+        from .engine import EvalEngine
+        token = EvalEngine._fingerprint(history.problem)
+        kwargs.setdefault("source", f"history:{history.problem.name}"
+                                    f"/{history.optimizer_name}/seed{history.seed}")
+        return cls(history.X, history.F, space=history.problem.space,
+                   fom=history.fom,
+                   fingerprint=token.hex() if token is not None else None,
+                   **kwargs)
+
+    @classmethod
+    def from_checkpoint(cls, path: str | os.PathLike, **kwargs) -> "WarmStart":
+        """Donor = a :meth:`repro.core.Study.save` checkpoint file.
+
+        Self-contained: the checkpoint carries the donor space description
+        and problem fingerprint, so no donor problem instance is needed.
+        """
+        with open(os.fspath(path), encoding="utf-8") as fh:
+            data = json.load(fh)
+        history = data.get("history", data)  # tolerate a bare to_dict payload
+        problem = data.get("problem", {})
+        space = problem.get("space") or {}
+        kwargs.setdefault("source", f"checkpoint:{os.fspath(path)}")
+        return cls(history["X"], history["F"],
+                   names=space.get("names"),
+                   lower=space.get("lower"), upper=space.get("upper"),
+                   fom=history.get("fom"),
+                   fingerprint=problem.get("fingerprint"),
+                   **kwargs)
+
+    # -- cross-space mapping ------------------------------------------------
+    def map_designs(self, target_space, *, rng: np.random.Generator,
+                    X: np.ndarray | None = None):
+        """Map donor designs into ``target_space``.
+
+        Variables are matched by name and transferred in normalized
+        ``[0, 1]`` coordinates (a device that sat at 30% of its donor range
+        starts at 30% of its target range, whatever the physical bounds).
+        Target variables absent from the donor are resampled uniformly from
+        ``rng``; donor variables absent from the target are dropped.  When
+        either side lacks names — or no names match but the dimensions
+        agree — the transfer falls back to positional identity.
+
+        Returns ``(X_mapped, report)`` where ``report`` lists the
+        ``matched``, ``resampled`` and ``dropped`` variable names.
+        """
+        X = self.X if X is None else np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self.names is None or self.lower is None:
+            if X.shape[1] != target_space.dim:
+                raise ValueError(
+                    f"donor has no space description and its dimension "
+                    f"{X.shape[1]} != target dimension {target_space.dim}; "
+                    f"name-based mapping needs donor names/bounds")
+            return (target_space.canonical(X),
+                    {"matched": list(target_space.names), "resampled": [],
+                     "dropped": []})
+        if (self.names == list(target_space.names)
+                and np.array_equal(self.lower, target_space.lower)
+                and np.array_equal(self.upper, target_space.upper)):
+            # Identical space: skip the normalize/denormalize round trip so
+            # the transferred designs keep the donor's exact bytes (and so
+            # their cache keys match a donor-side engine's).
+            return (target_space.canonical(X),
+                    {"matched": list(target_space.names), "resampled": [],
+                     "dropped": []})
+        span = self.upper - self.lower
+        U = (X - self.lower) / span
+        donor_index = {name: i for i, name in enumerate(self.names)}
+        matched = [n for n in target_space.names if n in donor_index]
+        if not matched:
+            if X.shape[1] == target_space.dim:
+                # Same shape, disjoint names: positional identity.
+                return (target_space.canonical(
+                            target_space.denormalize(np.clip(U, 0.0, 1.0))),
+                        {"matched": [], "positional": list(target_space.names),
+                         "resampled": [], "dropped": []})
+            raise ValueError(
+                f"no donor variable names match the target space "
+                f"(donor: {self.names}, target: {target_space.names}) and "
+                f"the dimensions differ — nothing to transfer")
+        out = rng.uniform(size=(len(X), target_space.dim))
+        resampled = []
+        for j, name in enumerate(target_space.names):
+            i = donor_index.get(name)
+            if i is None:
+                resampled.append(name)
+                continue
+            out[:, j] = np.clip(U[:, i], 0.0, 1.0)
+        dropped = [n for n in self.names if n not in set(target_space.names)]
+        return (target_space.canonical(target_space.denormalize(out)),
+                {"matched": matched, "resampled": resampled, "dropped": dropped})
+
+    # -- application ---------------------------------------------------------
+    def resolve_mode(self, problem) -> str:
+        """Which transfer applies to ``problem`` (resolves ``"auto"``)."""
+        width_ok = self.F.shape[1] == 1 + problem.num_constraints
+        if self.mode == "tell":
+            if not width_ok:
+                raise ValueError(
+                    f"mode='tell' needs donor rows of width "
+                    f"{1 + problem.num_constraints} (got {self.F.shape[1]}): "
+                    f"performance rows do not transfer across problems — "
+                    f"use mode='designs'")
+            return "tell"
+        if self.mode == "designs":
+            return "designs"
+        from .engine import EvalEngine
+        token = EvalEngine._fingerprint(problem)
+        same = (self.fingerprint is not None and token is not None
+                and self.fingerprint == token.hex())
+        return "tell" if (same and width_ok) else "designs"
+
+    def apply(self, optimizer) -> dict:
+        """Arm ``optimizer`` with the donor knowledge (idempotence guarded
+        by the caller; the optimizer must be fresh).
+
+        * ``tell`` mode: tells the donor archive (mapped into the target
+          space) as the history's warm prefix and seeds the engine cache —
+          fully applied on return.
+        * ``designs`` mode: returns the mapped donor designs under
+          ``"designs"``; the :class:`~repro.core.Study` driver simulates
+          them as its first batch.
+
+        Returns a report dict (``mode``, ``n_rows``, mapping detail,
+        ``source``).
+        """
+        problem = optimizer.problem
+        if optimizer.history.n_total:
+            raise ValueError("warm start needs a fresh (untold) optimizer")
+        mode = self.resolve_mode(problem)
+        rng = np.random.default_rng([_RESAMPLE_SALT, optimizer.seed])
+        report = {"mode": mode, "source": self.source,
+                  "donor_best_fom": float(np.min(self.fom))}
+        if mode == "tell":
+            # A told row asserts "this exact design measured these exact
+            # values", so the transfer must be lossless: the donor space
+            # must equal the target space (auto mode guarantees this via
+            # the fingerprint; a forced tell is validated here).  Any
+            # rescaling, dropping or resampling would attach donor F rows
+            # to designs they never described — and seed the (possibly
+            # persistent) cache with wrong answers.
+            target = problem.space
+            space_known = self.names is not None and self.lower is not None
+            same_space = (not space_known
+                          or (self.names == list(target.names)
+                              and np.array_equal(self.lower, target.lower)
+                              and np.array_equal(self.upper, target.upper)))
+            if not same_space:
+                raise ValueError(
+                    "mode='tell' requires the donor design space to match "
+                    "the target exactly (same variable names and bounds): "
+                    "donor rows describe donor-space designs — use "
+                    "mode='designs' for cross-space transfer")
+            Xm, mapping = self.map_designs(target, rng=rng)
+            optimizer.tell(Xm, self.F)
+            optimizer.history.n_warm = len(Xm)
+            report["n_rows"] = len(Xm)
+            report["cache_seeded"] = optimizer.engine.seed_cache(
+                problem, Xm, self.F)
+        else:
+            order = np.argsort(self.fom, kind="stable")
+            if self.max_designs is not None:
+                order = order[:self.max_designs]
+            Xm, mapping = self.map_designs(problem.space, rng=rng,
+                                           X=self.X[order])
+            # Mapping can collapse distinct donor designs (dropped dims);
+            # keep first (best-FoM) occurrences only.
+            _, unique = np.unique(Xm, axis=0, return_index=True)
+            Xm = Xm[np.sort(unique)]
+            report["n_rows"] = len(Xm)
+            report["designs"] = Xm
+        report["mapping"] = mapping
+        return report
+
+    def __repr__(self) -> str:
+        return (f"WarmStart(rows={len(self.X)}, dim={self.X.shape[1]}, "
+                f"mode={self.mode!r}, source={self.source!r})")

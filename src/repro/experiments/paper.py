@@ -97,7 +97,9 @@ def run_parameter_table(circuit) -> str:
 def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None = None,
                                   workers: int = 1, verbose: bool = False,
                                   engine_factory=None,
-                                  pipeline_depth: int = 1) -> dict:
+                                  pipeline_depth: int = 1,
+                                  warm_start=None,
+                                  cache_dir: str | None = None) -> dict:
     """Run the 4-algorithm comparison on a building block.
 
     Returns ``{"histories": ..., "stats": ..., "curves": ...}`` — everything
@@ -119,7 +121,8 @@ def run_building_block_comparison(circuit_cls, *, scale: ExperimentScale | None 
                                    n_trials=scale.n_trials, budgets=budgets,
                                    workers=workers, verbose=verbose,
                                    engine_factory=engine_factory,
-                                   pipeline_depth=pipeline_depth)
+                                   pipeline_depth=pipeline_depth,
+                                   warm_start=warm_start, cache_dir=cache_dir)
     stats = {name: algorithm_stats(name, hs) for name, hs in histories.items()}
     curves = {name: mean_fom_curve(hs, length=scale.budget)
               for name, hs in histories.items()}

@@ -40,6 +40,7 @@ paper-protocol reproduction runs.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import Callable
@@ -48,6 +49,12 @@ from ..core.history import OptimizationHistory
 from ..core.study import Study
 
 __all__ = ["run_trials", "compare_algorithms"]
+
+
+def _cache_engine(cache_dir: str):
+    """Module-level engine factory (picklable into pool workers)."""
+    from ..core.engine import EvalEngine
+    return EvalEngine(cache_dir=cache_dir)
 
 OptimizerFactory = Callable[[object, int, int], object]
 """Signature: factory(problem, budget, seed) -> Optimizer."""
@@ -67,18 +74,21 @@ def _pool_trial(trial: int) -> OptimizationHistory:
 
 
 def _execute_trial(context: tuple, trial: int) -> OptimizationHistory:
-    factory, problem_factory, budget, base_seed, engine_factory, depth = context
+    (factory, problem_factory, budget, base_seed, engine_factory, depth,
+     warm_start) = context
     problem = problem_factory()
     optimizer = factory(problem, budget, base_seed + trial)
     engine = engine_factory() if engine_factory is not None else None
     try:
         if _is_legacy(optimizer):
             # Third-party _run()-style optimizers cannot be driven by a
-            # Study (and cannot pipeline); keep the historic blocking path.
+            # Study (and cannot pipeline or warm-start); keep the historic
+            # blocking path.
             if engine is not None:
                 optimizer.engine = engine
             return optimizer.run()
-        return Study(optimizer, engine=engine, pipeline_depth=depth).run()
+        return Study(optimizer, engine=engine, pipeline_depth=depth,
+                     warm_start=warm_start).run()
     finally:
         if engine is not None:
             engine.close()
@@ -95,6 +105,8 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
                workers: int = 1, verbose: bool = False,
                engine_factory: Callable[[], object] | None = None,
                pipeline_depth: int = 1,
+               warm_start=None,
+               cache_dir: str | None = None,
                ) -> list[OptimizationHistory]:
     """Run ``n_trials`` independent optimizations with seeds
     ``base_seed, base_seed+1, ...`` (a fresh problem instance per trial).
@@ -105,10 +117,21 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
     (e.g. pointing at a running evaluation service) that is attached to the
     optimizer and closed after its trial.  ``pipeline_depth > 1`` pipelines
     each trial's proposal/evaluation loop (see :class:`~repro.core.Study`).
+
+    ``warm_start`` is a :class:`~repro.core.WarmStart` applied to *every*
+    trial (each trial maps/tells the donor archive independently — the
+    per-trial seeds still differ, so trials stay independent).
+    ``cache_dir`` gives each trial's engine a persistent disk cache tier;
+    trials of a repeated sweep then answer duplicate designs with zero
+    simulations, even across processes.  Ignored when ``engine_factory``
+    is given — configure the factory's engines instead (or set
+    ``REPRO_CACHE_DIR``, which every default-configured engine honors).
     """
     workers = max(1, int(workers))
+    if engine_factory is None and cache_dir:
+        engine_factory = partial(_cache_engine, os.fspath(cache_dir))
     context = (factory, problem_factory, int(budget), int(base_seed),
-               engine_factory, max(1, int(pipeline_depth)))
+               engine_factory, max(1, int(pipeline_depth)), warm_start)
     if workers == 1 or n_trials <= 1:
         histories = []
         for trial in range(n_trials):
@@ -166,14 +189,18 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                        verbose: bool = False,
                        engine_factory: Callable[[], object] | None = None,
                        pipeline_depth: int = 1,
+                       warm_start=None,
+                       cache_dir: str | None = None,
                        ) -> dict[str, list[OptimizationHistory]]:
     """Run every algorithm with the multi-trial protocol.
 
     ``budgets`` overrides the budget per algorithm (the paper gives DE 10000
     simulations but the model-based methods only 500); overrides are applied
     per algorithm before its trials are dispatched, so they hold under any
-    ``workers`` setting.  ``engine_factory`` and ``pipeline_depth`` are
-    forwarded to :func:`run_trials`.
+    ``workers`` setting.  ``engine_factory``, ``pipeline_depth``,
+    ``warm_start`` and ``cache_dir`` are forwarded to :func:`run_trials`
+    (with a shared ``cache_dir``, an algorithm re-proposing a design any
+    earlier algorithm already simulated gets it answered from disk).
     """
     workers = max(1, int(workers))
     results: dict[str, list[OptimizationHistory]] = {}
@@ -186,5 +213,6 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                                    n_trials=n_trials, base_seed=base_seed,
                                    workers=workers, verbose=verbose,
                                    engine_factory=engine_factory,
-                                   pipeline_depth=pipeline_depth)
+                                   pipeline_depth=pipeline_depth,
+                                   warm_start=warm_start, cache_dir=cache_dir)
     return results

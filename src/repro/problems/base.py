@@ -84,6 +84,22 @@ class DesignSpace:
             x[..., self._integer_mask] = np.round(x[..., self._integer_mask])
         return self.clip(x)
 
+    def canonical(self, x: np.ndarray) -> np.ndarray:
+        """The *canonical* representation of the design(s) that would be
+        simulated: :meth:`round` plus signed-zero normalization.
+
+        This is the one shared helper every byte-level identity in the
+        package keys on — the engine's evaluation/dedup cache, the disk
+        cache tier, and the Study replay store.  ``np.round`` maps values in
+        ``(-0.5, 0.0)`` on an integer dimension (see ``integer_mask``) to
+        ``-0.0``, whose byte pattern differs from ``+0.0`` even though it is
+        the same integer design; hashing raw bytes would then alias one
+        design to two cache keys (and, with a persistent cache, two disk
+        entries).  Adding ``0.0`` collapses every ``-0.0`` to ``+0.0`` and
+        leaves all other values bit-untouched.
+        """
+        return self.round(x) + 0.0
+
     def normalize(self, x: np.ndarray) -> np.ndarray:
         """Map physical values to the unit cube."""
         return (np.asarray(x, dtype=np.float64) - self.lower) / self.span

@@ -1,0 +1,226 @@
+"""Persistent evaluation cache: DiskCache store + EvalEngine disk tier.
+
+Load-bearing contracts:
+
+* a rerun against the same ``cache_dir`` answers every repeated design
+  from disk — zero simulations — with bit-identical rows, including from
+  a *separate process* (the two-process smoke);
+* records are crash-safe: a torn tail is ignored, never mis-indexed;
+* keys go through the shared canonicalization helper, so the disk tier
+  can never split one integer design into two entries.
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.core import DiskCache, EvalEngine, Study
+from repro.problems import ConstrainedSphere, Sphere
+
+
+# ----------------------------------------------------------------------
+# DiskCache store
+# ----------------------------------------------------------------------
+def test_put_get_round_trip(tmp_path):
+    with DiskCache(tmp_path) as cache:
+        row = np.array([1.5, -2.25, 2.0 ** -40])
+        assert cache.put(b"k" * 16, row)
+        assert not cache.put(b"k" * 16, row)  # idempotent
+        np.testing.assert_array_equal(cache.get(b"k" * 16), row)
+        assert cache.get(b"x" * 16) is None
+        assert len(cache) == 1
+
+
+def test_second_instance_reads_first_instances_shards(tmp_path):
+    with DiskCache(tmp_path) as writer:
+        rows = {bytes([i]) * 16: np.array([float(i), i / 3.0]) for i in range(5)}
+        for key, row in rows.items():
+            writer.put(key, row)
+    with DiskCache(tmp_path) as reader:
+        assert len(reader) == 5
+        for key, row in rows.items():
+            np.testing.assert_array_equal(reader.get(key), row)
+
+
+def test_concurrent_writers_use_separate_shards(tmp_path):
+    a, b = DiskCache(tmp_path), DiskCache(tmp_path)
+    a.put(b"a" * 16, np.array([1.0]))
+    b.put(b"b" * 16, np.array([2.0]))
+    shards = [n for n in os.listdir(tmp_path) if n.startswith("shard-")]
+    assert len(shards) == 2  # no write contention, ever
+    # each sees the other's append on refresh
+    a.refresh(), b.refresh()
+    np.testing.assert_array_equal(a.get(b"b" * 16), np.array([2.0]))
+    np.testing.assert_array_equal(b.get(b"a" * 16), np.array([1.0]))
+    a.close(), b.close()
+
+
+def test_torn_tail_is_ignored_not_misread(tmp_path):
+    with DiskCache(tmp_path) as writer:
+        writer.put(b"g" * 16, np.array([4.0, 5.0]))
+        shard = writer._writer_path
+    # simulate a crash mid-append: a half-written record at the tail
+    payload = np.array([9.0]).tobytes()
+    record = struct.pack("<16sII", b"t" * 16, len(payload),
+                         zlib.crc32(payload)) + payload
+    with open(shard, "ab") as fh:
+        fh.write(record[:len(record) - 3])
+    with DiskCache(tmp_path) as reader:
+        assert len(reader) == 1  # the good record only
+        np.testing.assert_array_equal(reader.get(b"g" * 16),
+                                      np.array([4.0, 5.0]))
+        assert reader.get(b"t" * 16) is None
+
+
+def test_corrupt_record_stops_shard_scan(tmp_path):
+    with DiskCache(tmp_path) as writer:
+        writer.put(b"g" * 16, np.array([1.0]))
+        shard = writer._writer_path
+    payload = np.array([2.0]).tobytes()
+    bad = struct.pack("<16sII", b"c" * 16, len(payload), 12345) + payload
+    with open(shard, "ab") as fh:
+        fh.write(bad)
+    with DiskCache(tmp_path) as reader:
+        assert len(reader) == 1
+        assert reader.n_corrupt == 1
+
+
+# ----------------------------------------------------------------------
+# EvalEngine disk tier
+# ----------------------------------------------------------------------
+class CountingSphere(Sphere):
+    def __init__(self, dim=3):
+        super().__init__(dim)
+        self.calls = 0
+
+    def _evaluate(self, x):
+        self.calls += 1
+        return super()._evaluate(x)
+
+
+def test_rerun_with_cache_dir_simulates_nothing(tmp_path):
+    X = Sphere(3).space.sample(np.random.default_rng(0), 7)
+    with EvalEngine(cache_dir=tmp_path) as e1:
+        p1 = CountingSphere(3)
+        F1 = e1.evaluate_batch(p1, X)
+        assert p1.calls == 7 and e1.n_disk_hits == 0
+    # a *fresh engine* (new process in real life): memory cache empty,
+    # disk tier answers everything
+    with EvalEngine(cache_dir=tmp_path) as e2:
+        p2 = CountingSphere(3)
+        F2 = e2.evaluate_batch(p2, X)
+        assert p2.calls == 0
+        assert e2.n_sim_calls == 0
+        assert e2.n_disk_hits == 7
+        assert e2.n_cache_hits == 7  # disk hits are cache hits in the stats
+    np.testing.assert_array_equal(F1, F2)
+
+
+def test_cache_dir_env_var_is_the_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    engine = EvalEngine()
+    assert engine.cache_dir == str(tmp_path)
+    # explicit empty string forces the tier off despite the variable
+    assert EvalEngine(cache_dir="").cache_dir is None
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert EvalEngine().cache_dir is None
+    engine.close()
+
+
+def test_cache_size_zero_disables_disk_tier(tmp_path):
+    engine = EvalEngine(cache_size=0, cache_dir=tmp_path)
+    assert engine._disk is None
+    engine.close()
+
+
+def test_disk_hits_surface_in_study_engine_stats(tmp_path):
+    problem_factory = lambda: ConstrainedSphere(2)
+    with EvalEngine(cache_dir=tmp_path) as e1:
+        h1 = Study(RandomSearch(problem_factory(), 8, 3), engine=e1).run()
+        assert h1.engine_stats["disk_hits"] == 0
+    with EvalEngine(cache_dir=tmp_path) as e2:
+        h2 = Study(RandomSearch(problem_factory(), 8, 3), engine=e2).run()
+    assert h2.engine_stats["misses"] == 0
+    assert h2.engine_stats["disk_hits"] == 8
+    assert h2.engine_stats["hit_rate"] == 1.0
+    np.testing.assert_array_equal(h1.X, h2.X)
+    np.testing.assert_array_equal(h1.F, h2.F)
+
+
+# ----------------------------------------------------------------------
+# two-process smoke: cross-process sharing via the content fingerprints
+# ----------------------------------------------------------------------
+_CHILD = """
+import json, sys
+import numpy as np
+from repro.baselines import RandomSearch
+from repro.core import EvalEngine, Study
+from repro.problems import ConstrainedSphere
+
+with EvalEngine(cache_dir=sys.argv[1]) as engine:
+    history = Study(RandomSearch(ConstrainedSphere(3), 10, 21),
+                    engine=engine).run()
+print(json.dumps({
+    "X": history.X.tolist(), "F": history.F.tolist(),
+    "disk_hits": history.engine_stats["disk_hits"],
+    "misses": history.engine_stats["misses"],
+}))
+"""
+
+
+def _run_child(cache_dir):
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run([sys.executable, "-c", _CHILD, str(cache_dir)],
+                         capture_output=True, text=True, env=env, timeout=120)
+    assert out.returncode == 0, out.stderr
+    import json
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def test_two_process_disk_cache_smoke(tmp_path):
+    # Process A populates the store; process B (a genuinely separate
+    # interpreter) answers every design from disk and produces a
+    # bit-identical history — the cross-run persistence acceptance pin.
+    first = _run_child(tmp_path)
+    assert first["misses"] == 10 and first["disk_hits"] == 0
+    second = _run_child(tmp_path)
+    assert second["misses"] == 0
+    assert second["disk_hits"] == 10
+    np.testing.assert_array_equal(np.asarray(first["X"]), np.asarray(second["X"]))
+    np.testing.assert_array_equal(np.asarray(first["F"]), np.asarray(second["F"]))
+
+
+def test_unpicklable_problems_never_poison_the_disk_tier(tmp_path):
+    # Unpicklable problems get anonymous engine tokens with no cross-process
+    # identity; persisting their keys used to let two *different* such
+    # problems (each process restarting the anon counter at 0) answer each
+    # other's designs from a shared cache_dir.
+    def make_problem(offset):
+        problem = Sphere(2)
+        problem.offset = offset
+
+        def _evaluate(x, _offset=offset):
+            return [float(np.sum(x ** 2)) + _offset]
+
+        problem._evaluate = _evaluate        # closure -> unpicklable
+        return problem
+
+    x = np.array([[1.0, 2.0]])
+    with EvalEngine(cache_dir=tmp_path) as e1:
+        F1 = e1.evaluate_batch(make_problem(0.0), x)
+    with EvalEngine(cache_dir=tmp_path) as e2:
+        F2 = e2.evaluate_batch(make_problem(1000.0), x)
+        assert e2.n_disk_hits == 0           # nothing to collide with
+    assert F1[0, 0] == 5.0
+    assert F2[0, 0] == 1005.0                # its own answer, not problem 1's
+    # and nothing anonymous was persisted at all
+    with DiskCache(tmp_path) as reader:
+        assert len(reader) == 0

@@ -264,3 +264,113 @@ def test_engine_shared_across_optimizers_caches_duplicates():
     h2 = RandomSearch(problem, 12, seed=9, engine=engine).run()
     assert problem.calls == calls_after_first
     np.testing.assert_array_equal(h1.X, h2.X)
+
+
+# ----------------------------------------------------------------------
+# Canonical cache keys (DesignSpace.canonical) for integer dimensions
+# ----------------------------------------------------------------------
+class MixedIntegerSphere(Sphere):
+    """Sphere with an integer dimension spanning negative values — the
+    case where ``np.round`` produces ``-0.0`` and raw-byte hashing would
+    alias one integer design to two cache keys."""
+
+    def __init__(self):
+        from repro.problems.base import (DesignSpace, Objective, Variable)
+        space = DesignSpace([Variable("n", -5.0, 5.0, kind="integer"),
+                             Variable("w", -5.0, 5.0)])
+        super(Sphere, self).__init__(space, Objective("sphere", scale=50.0), [])
+        self.calls = 0
+
+    def _evaluate(self, x):
+        self.calls += 1
+        return [float(np.sum(x ** 2))]
+
+
+def test_canonical_normalizes_signed_zero_on_integer_dims():
+    space = MixedIntegerSphere().space
+    minus = space.canonical(np.array([-0.3, 1.0]))
+    plus = space.canonical(np.array([0.3, 1.0]))
+    assert minus.tobytes() == plus.tobytes()  # same design, same bytes
+    # np.round alone would have produced -0.0 here
+    assert np.round(-0.3).tobytes() != np.round(0.3).tobytes()
+
+
+def test_rounded_and_unrounded_integer_views_share_one_cache_entry():
+    # -0.3 and +0.3 are both integer design 0: one simulation, one entry —
+    # in the dedup pass, the memory cache, and the disk tier alike.
+    problem = MixedIntegerSphere()
+    with EvalEngine("serial") as engine:
+        F = engine.evaluate_batch(problem, np.array([[-0.3, 1.0], [0.3, 1.0]]))
+        assert problem.calls == 1
+        assert engine.n_sim_calls == 1
+        np.testing.assert_array_equal(F[0], F[1])
+        engine.evaluate_batch(problem, np.array([[-0.0, 1.0], [0.0, 1.0]]))
+        assert problem.calls == 1  # cache hit on every signed-zero view
+
+
+def test_mixed_integer_disk_cache_determinism(tmp_path):
+    problem_factory = MixedIntegerSphere
+    X = np.array([[-0.4, 2.0], [0.4, 2.0], [2.6, -1.0], [-4.9, 0.5]])
+    with EvalEngine(cache_dir=tmp_path) as e1:
+        F1 = e1.evaluate_batch(problem_factory(), X)
+        assert e1.n_sim_calls == 3  # first two rows are one design
+    with EvalEngine(cache_dir=tmp_path) as e2:
+        F2 = e2.evaluate_batch(problem_factory(), X)
+        assert e2.n_sim_calls == 0
+        assert e2.n_disk_hits == 3
+    np.testing.assert_array_equal(F1, F2)
+
+
+def test_seed_cache_answers_without_simulation():
+    problem = CountingSphere(3)
+    X = problem.space.sample(np.random.default_rng(1), 5)
+    F = problem.evaluate_batch(X)
+    problem.calls = 0
+    with EvalEngine("serial") as engine:
+        assert engine.seed_cache(problem, X, F) == 5
+        assert engine.seed_cache(problem, X, F) == 0  # idempotent
+        np.testing.assert_array_equal(engine.evaluate_batch(problem, X), F)
+        assert problem.calls == 0
+        assert engine.n_cache_hits == 5
+    with pytest.raises(ValueError, match="seed_cache"):
+        EvalEngine().seed_cache(problem, X, F[:2])
+
+
+# ----------------------------------------------------------------------
+# close() vs. in-flight submit(): raise, never hang
+# ----------------------------------------------------------------------
+def test_submit_after_close_raises():
+    engine = EvalEngine("serial")
+    engine.close()
+    problem = Sphere(2)
+    with pytest.raises(RuntimeError, match="closed"):
+        engine.submit(problem, problem.space.sample(np.random.default_rng(0), 2))
+
+
+def test_close_cancels_queued_submits_and_gather_raises():
+    import threading
+    import time as _time
+
+    class SlowSphere(Sphere):
+        def _evaluate(self, x):
+            _time.sleep(0.1)
+            return super()._evaluate(x)
+
+    problem = SlowSphere(2)
+    engine = EvalEngine("serial", workers=1, cache_size=0)
+    # saturate the submit pool so later batches sit in its queue
+    rng = np.random.default_rng(0)
+    handles = [engine.submit(problem, problem.space.sample(rng, 1))
+               for _ in range(12)]
+    t0 = _time.perf_counter()
+    engine.close()  # must not deadlock waiting on the whole queue
+    assert _time.perf_counter() - t0 < 5.0
+    outcomes = []
+    for handle in handles:
+        try:
+            engine.gather(handle)
+            outcomes.append("ok")
+        except RuntimeError:
+            outcomes.append("cancelled")
+    # ...at least the tail of the queue was cancelled, and nothing hung
+    assert "cancelled" in outcomes

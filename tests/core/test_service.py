@@ -327,3 +327,126 @@ def test_remote_survives_one_dead_host(service_hosts):
     with EvalEngine("remote", hosts=[dead] + list(service_hosts)) as engine:
         F = engine.evaluate_batch(problem, X)
     np.testing.assert_array_equal(F, problem.evaluate_batch(X))
+
+
+# ----------------------------------------------------------------------
+# last-host-death / bounded failover (ServiceError) + close() semantics
+# ----------------------------------------------------------------------
+class _FlakyWorker:
+    """Protocol-speaking fake shard: healthy through hello/put_problem,
+    then follows a script on eval — ``"die"`` closes the connection
+    mid-chunk, ``"hang"`` never replies (until closed)."""
+
+    def __init__(self, behavior: str):
+        self.behavior = behavior
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self.eval_requests = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        self._listener.settimeout(0.2)
+        conns = []
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conns.append(conn)
+            threading.Thread(target=self._session, args=(conn,),
+                             daemon=True).start()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _session(self, conn):
+        try:
+            while not self._stop.is_set():
+                msg = service.recv_msg(conn)
+                if msg is None:
+                    return
+                op = msg.get("op")
+                if op == "hello":
+                    service.send_msg(conn, {"ok": True,
+                                            "protocol": service.PROTOCOL_VERSION,
+                                            "pid": 0, "problems": 0})
+                elif op == "put_problem":
+                    service.send_msg(conn, {"ok": True})
+                elif op == "eval":
+                    self.eval_requests += 1
+                    if self.behavior == "die":
+                        conn.close()
+                        return
+                    while not self._stop.is_set():  # hang
+                        self._stop.wait(0.1)
+                    return
+        except (ConnectionError, OSError):
+            return
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+
+def test_last_host_death_raises_service_error_promptly():
+    # Every shard dies mid-chunk: the bounded failover must surface a
+    # ServiceError carrying the host trail — not spin on requeues or
+    # report success with missing rows.
+    workers = [_FlakyWorker("die"), _FlakyWorker("die")]
+    try:
+        problem = Sphere(2)
+        X = problem.space.sample(np.random.default_rng(0), 8)
+        with EvalEngine("remote", hosts=[w.address for w in workers]) as engine:
+            with pytest.raises(service.ServiceError, match="failed on all hosts"):
+                engine.evaluate_batch(problem, X)
+        total = sum(w.eval_requests for w in workers)
+        assert total <= 2 + 2 * len(workers)  # bounded, no requeue spin
+    finally:
+        for w in workers:
+            w.close()
+
+
+def test_chunk_requeue_budget_is_bounded():
+    dispatcher = service.RemoteDispatcher(["127.0.0.1:1"],
+                                          max_chunk_requeues=0)
+    assert dispatcher.max_chunk_requeues == 0
+    default = service.RemoteDispatcher(["127.0.0.1:1", "127.0.0.1:2"])
+    assert default.max_chunk_requeues == 4  # 2 per configured host
+
+
+def test_engine_close_with_inflight_remote_submit_raises_not_hangs():
+    # A shard that accepts the chunk and never answers: close() must tear
+    # down the dispatcher first so the blocked gather() raises quickly —
+    # the old order deadlocked close() behind the submit pool.
+    worker = _FlakyWorker("hang")
+    try:
+        problem = Sphere(2)
+        engine = EvalEngine("remote", hosts=[worker.address])
+        handle = engine.submit(problem,
+                               problem.space.sample(np.random.default_rng(1), 4))
+        import time
+        time.sleep(0.3)  # let the dispatch thread block on the socket
+        t0 = time.perf_counter()
+        engine.close()
+        assert time.perf_counter() - t0 < 10.0
+        with pytest.raises((service.ServiceError, RuntimeError)):
+            engine.gather(handle)
+    finally:
+        worker.close()
+
+
+def test_closed_dispatcher_refuses_new_work():
+    dispatcher = service.RemoteDispatcher(["127.0.0.1:1"])
+    dispatcher.close()
+    with pytest.raises(service.ServiceError, match="closed"):
+        dispatcher._connection(("127.0.0.1", 1))

@@ -549,3 +549,25 @@ def test_gather_propagates_evaluation_errors():
         with pytest.raises(RuntimeError, match="simulator crashed"):
             engine.gather(handle)
         assert engine._inflight == {}  # failed keys are not left dangling
+
+
+# ----------------------------------------------------------------------
+# Canonical replay keys: mixed-integer checkpoints
+# ----------------------------------------------------------------------
+def test_checkpoint_resume_bit_identical_with_integer_dims(tmp_path):
+    # Integer rounding used to be the gap between the replay store's keys
+    # and the engine's cache keys (raw vs rounded bytes, signed zeros);
+    # both now go through DesignSpace.canonical, so a mixed-integer
+    # checkpoint resumes bit-identically.
+    from repro.problems import PressureVessel
+    make = lambda: RandomSearch(PressureVessel(), 14, 4)
+    reference = Study(make()).run()
+    assert PressureVessel().space.integer_mask.any()
+
+    path = tmp_path / "mixed.ckpt.json"
+    interrupted = Study(make(), checkpoint_path=str(path), checkpoint_every=1,
+                        callbacks=[lambda s: s.history.n_evals >= 8
+                                   and s.request_stop()])
+    interrupted.run()
+    finished = Study.load(str(path), make()).run()
+    assert_history_equal(reference, finished)

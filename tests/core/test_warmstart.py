@@ -1,0 +1,347 @@
+"""Warm-start / cross-run transfer on the ask/tell seam.
+
+Load-bearing contracts:
+
+* same-problem donors are *told* as a cost-free warm prefix — zero donor
+  simulations, proven by engine counters — and every optimizer conditions
+  on the donor archive from its first ask;
+* warm-started runs are seed-deterministic and checkpoint/resume to
+  bit-identical histories;
+* cross-problem transfer maps donor designs by variable *name* in
+  normalized coordinates, resamples target dimensions the donor lacks,
+  and drops donor-only dimensions — exactly as documented.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BOwEI,
+    DifferentialEvolution,
+    GASPAD,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+from repro.core import DNNOpt, EvalEngine, Study, WarmStart
+from repro.problems import ConstrainedSphere, Sphere
+from repro.problems.base import (
+    DesignSpace,
+    Objective,
+    OptimizationProblem,
+    Spec,
+    Variable,
+)
+
+
+def small_dnnopt(problem, budget, seed, **kw):
+    defaults = dict(n_init=8, n_elite=5, critic_epochs=3, actor_epochs=3,
+                    critic_hidden=(16, 16), actor_hidden=(16, 16), max_pseudo=300)
+    defaults.update(kw)
+    return DNNOpt(problem, budget, seed, **defaults)
+
+
+ALL_OPTIMIZERS = [
+    ("Random", lambda p, b, s: RandomSearch(p, b, s)),
+    ("DE", lambda p, b, s: DifferentialEvolution(p, b, s, pop_size=6)),
+    ("SA", lambda p, b, s: SimulatedAnnealing(p, b, s, steps_per_temperature=4)),
+    ("BO-wEI", lambda p, b, s: BOwEI(p, b, s, n_init=8, pool_size=32,
+                                     local_points=8)),
+    ("GASPAD", lambda p, b, s: GASPAD(p, b, s, n_init=8, pop_size=6)),
+    ("DNN-Opt", lambda p, b, s: small_dnnopt(p, b, s)),
+]
+
+
+@pytest.fixture(scope="module")
+def donor():
+    """One donor archive on ConstrainedSphere(3), shared across tests."""
+    return Study(small_dnnopt(ConstrainedSphere(3), 20, 1)).run()
+
+
+def assert_history_equal(a, b):
+    np.testing.assert_array_equal(a.X, b.X)
+    np.testing.assert_array_equal(a.F, b.F)
+    np.testing.assert_array_equal(a.fom, b.fom)
+    np.testing.assert_array_equal(a.feasible, b.feasible)
+
+
+# ----------------------------------------------------------------------
+# tell mode: same-problem transfer
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,factory", ALL_OPTIMIZERS,
+                         ids=[n for n, _ in ALL_OPTIMIZERS])
+def test_tell_mode_prefix_and_zero_donor_simulations(donor, name, factory):
+    # Donor rows become the warm prefix; the run's own budget is spent only
+    # on fresh designs, and the engine counters prove no donor row was ever
+    # simulated (warm rows are told, not dispatched).
+    ws = WarmStart.from_history(donor)
+    engine = EvalEngine("serial")
+    opt = factory(ConstrainedSphere(3), 10, 2)
+    history = Study(opt, engine=engine, warm_start=ws).run()
+    assert history.n_warm == donor.n_evals
+    assert history.n_evals == 10
+    assert history.n_total == donor.n_evals + 10
+    np.testing.assert_array_equal(history.X[:history.n_warm], donor.X)
+    np.testing.assert_array_equal(history.F[:history.n_warm], donor.F)
+    # fresh simulations only: every engine dispatch was a non-donor design
+    assert history.engine_stats["misses"] <= 10
+    assert engine.n_sim_calls <= 10
+
+
+@pytest.mark.parametrize("name,factory", ALL_OPTIMIZERS,
+                         ids=[n for n, _ in ALL_OPTIMIZERS])
+def test_warm_runs_are_seed_deterministic(donor, name, factory):
+    def run_once():
+        ws = WarmStart.from_history(donor)
+        return Study(factory(ConstrainedSphere(3), 12, 7), warm_start=ws).run()
+
+    assert_history_equal(run_once(), run_once())
+
+
+def test_donor_designs_answered_from_seeded_cache(donor):
+    # If the warm run re-queries a donor design (here: forced via the
+    # engine directly), the seeded cache answers without a simulation.
+    ws = WarmStart.from_history(donor)
+    engine = EvalEngine("serial")
+    problem = ConstrainedSphere(3)
+    study = Study(RandomSearch(problem, 5, 3), engine=engine, warm_start=ws)
+    assert study.warm_report["cache_seeded"] == donor.n_evals
+    F = engine.evaluate_batch(problem, donor.X)
+    assert engine.n_sim_calls == 0
+    assert engine.n_cache_hits == len(donor.X)
+    np.testing.assert_array_equal(F, donor.F)
+
+
+def test_warm_prefix_is_cost_free_accounting(donor):
+    ws = WarmStart.from_history(donor)
+    history = Study(RandomSearch(ConstrainedSphere(3), 6, 4),
+                    warm_start=ws).run()
+    summary = history.summary()
+    assert summary["n_evals"] == 6
+    assert summary["n_warm"] == donor.n_evals
+    # donor feasibility is not "simulations to first feasible" for this run
+    fresh_feasible = history.feasible[history.n_warm:]
+    expected = (int(np.argmax(fresh_feasible)) + 1 if fresh_feasible.any()
+                else None)
+    assert history.evals_to_first_feasible == expected
+
+
+def test_dnnopt_warm_start_shrinks_lhs_init_block(donor):
+    # With a donor archive >= n_init the space-filling block disappears:
+    # the first ask is already a model-based (Eq. 8) proposal batch.
+    ws = WarmStart.from_history(donor)
+    opt = small_dnnopt(ConstrainedSphere(3), 10, 5, batch_size=3)
+    Study(opt, warm_start=ws)  # applies the warm prefix at construction
+    X = opt.ask()
+    assert len(opt._init_plan) == 0
+    assert 1 <= len(X) <= 3
+    # ...whereas a small donor only *shrinks* the block.
+    small = WarmStart(donor.X[:3], donor.F[:3],
+                      space=donor.problem.space, mode="tell")
+    opt2 = small_dnnopt(ConstrainedSphere(3), 20, 5)
+    Study(opt2, warm_start=small)
+    opt2.ask()
+    assert len(opt2._init_plan) == opt2.n_init - 3
+
+
+def test_warm_start_requires_fresh_optimizer(donor):
+    ws = WarmStart.from_history(donor)
+    opt = RandomSearch(ConstrainedSphere(3), 8, 1)
+    Study(opt).run()
+    with pytest.raises(ValueError, match="fresh"):
+        Study(opt, warm_start=ws)
+
+
+def test_tell_mode_rejects_mismatched_row_width(donor):
+    ws = WarmStart.from_history(donor, mode="tell")
+    with pytest.raises(ValueError, match="tell"):
+        Study(RandomSearch(Sphere(3), 8, 1), warm_start=ws)
+
+
+# ----------------------------------------------------------------------
+# checkpoints as donors + warm checkpoint/resume
+# ----------------------------------------------------------------------
+def test_from_checkpoint_round_trips_space_description(tmp_path, donor):
+    path = tmp_path / "donor.json"
+    study = Study(RandomSearch(ConstrainedSphere(3), 10, 1))
+    study.run()
+    study.save(str(path))
+    ws = WarmStart.from_checkpoint(str(path))
+    assert ws.names == list(ConstrainedSphere(3).space.names)
+    np.testing.assert_array_equal(ws.lower, ConstrainedSphere(3).space.lower)
+    assert ws.resolve_mode(ConstrainedSphere(3)) == "tell"
+    history = Study(RandomSearch(ConstrainedSphere(3), 6, 2),
+                    warm_start=ws).run()
+    assert history.n_warm == 10
+
+
+def test_warm_checkpoint_resume_bit_identical(tmp_path, donor):
+    make = lambda: DifferentialEvolution(ConstrainedSphere(3), 16, 5, pop_size=6)
+    make_ws = lambda: WarmStart.from_history(donor)
+    reference = Study(make(), warm_start=make_ws()).run()
+
+    path = tmp_path / "warm.ckpt.json"
+    interrupted = Study(make(), warm_start=make_ws(), checkpoint_path=str(path),
+                        checkpoint_every=1,
+                        callbacks=[lambda s: s.history.n_evals >= 8
+                                   and s.request_stop()])
+    partial = interrupted.run()
+    assert partial.n_evals < reference.n_evals
+
+    finished = Study.load(str(path), make()).run()  # no warm_start needed
+    assert finished.n_warm == donor.n_evals
+    assert_history_equal(reference, finished)
+
+
+def test_load_rejects_extra_warm_start(tmp_path, donor):
+    path = tmp_path / "c.json"
+    study = Study(RandomSearch(Sphere(2), 6, 1))
+    study.run()
+    study.save(str(path))
+    with pytest.raises(ValueError, match="warm_start"):
+        Study.load(str(path), RandomSearch(Sphere(2), 6, 1),
+                   warm_start=WarmStart.from_history(donor))
+
+
+def test_designs_mode_checkpoint_resume_bit_identical(tmp_path, donor):
+    # Cross-problem warm start records its donor starting designs as the
+    # first fresh batch; a resume re-launches them from the checkpoint.
+    target = lambda: Sphere(3)
+    make = lambda: RandomSearch(target(), 14, 6)
+    make_ws = lambda: WarmStart.from_history(donor, mode="designs",
+                                             max_designs=4)
+    reference = Study(make(), warm_start=make_ws()).run()
+    path = tmp_path / "designs.ckpt.json"
+    interrupted = Study(make(), warm_start=make_ws(), checkpoint_path=str(path),
+                        checkpoint_every=1,
+                        callbacks=[lambda s: s.history.n_evals >= 7
+                                   and s.request_stop()])
+    interrupted.run()
+    finished = Study.load(str(path), make()).run()
+    assert_history_equal(reference, finished)
+
+
+# ----------------------------------------------------------------------
+# cross-problem design-space mapping
+# ----------------------------------------------------------------------
+class RenamedTarget(OptimizationProblem):
+    """Shares x0/x2 with ConstrainedSphere(3), adds a new variable with
+    different bounds, and lacks x1."""
+
+    def __init__(self):
+        space = DesignSpace([Variable("x0", -10.0, 10.0),
+                             Variable("x2", -5.0, 5.0),
+                             Variable("bias", 0.0, 2.0)])
+        super().__init__(space, Objective("obj", scale=100.0),
+                         [Spec("norm", "max", 3.0)])
+
+    def _evaluate(self, x):
+        return [float(np.sum(x ** 2)), float(np.linalg.norm(x))]
+
+
+def test_cross_space_mapping_matches_by_name(donor):
+    ws = WarmStart.from_history(donor)
+    target = RenamedTarget()
+    rng = np.random.default_rng(0)
+    Xm, report = ws.map_designs(target.space, rng=rng)
+    assert report["matched"] == ["x0", "x2"]
+    assert report["resampled"] == ["bias"]
+    assert report["dropped"] == ["x1"]
+    donor_space = donor.problem.space
+    U = donor_space.normalize(donor.X)
+    # matched dims transfer in normalized coordinates...
+    np.testing.assert_allclose(
+        target.space.normalize(Xm)[:, 0], U[:, 0], atol=1e-12)
+    np.testing.assert_allclose(
+        target.space.normalize(Xm)[:, 1], U[:, 2], atol=1e-12)
+    # ...and resampled dims stay inside the target bounds
+    assert (Xm[:, 2] >= 0.0).all() and (Xm[:, 2] <= 2.0).all()
+
+
+def test_cross_problem_auto_resolves_to_designs_mode(donor):
+    ws = WarmStart.from_history(donor)
+    assert ws.resolve_mode(RenamedTarget()) == "designs"
+    assert ws.resolve_mode(ConstrainedSphere(3)) == "tell"
+
+
+def test_cross_problem_warm_start_runs_and_is_deterministic(donor):
+    def run_once():
+        ws = WarmStart.from_history(donor, max_designs=5)
+        return Study(RandomSearch(RenamedTarget(), 12, 9),
+                     warm_start=ws).run()
+
+    h1, h2 = run_once(), run_once()
+    assert h1.n_warm == 0          # nothing is free across problems
+    assert h1.n_evals == 12
+    assert_history_equal(h1, h2)
+    # the first batch is the mapped donor designs (best donor FoM first),
+    # all simulated on the *target* problem
+    target = RenamedTarget()
+    np.testing.assert_array_equal(target.evaluate_batch(h1.X), h1.F)
+
+
+def test_mapping_without_any_common_names_requires_same_dim(donor):
+    ws = WarmStart.from_history(donor)
+    other = DesignSpace([Variable("a", 0.0, 1.0), Variable("b", 0.0, 1.0)])
+    with pytest.raises(ValueError, match="no donor variable names match"):
+        ws.map_designs(other, rng=np.random.default_rng(0))
+    # same dimension falls back to positional identity
+    positional = DesignSpace([Variable(f"p{i}", -5.0, 5.0) for i in range(3)])
+    Xm, report = ws.map_designs(positional, rng=np.random.default_rng(0))
+    assert report["positional"] == ["p0", "p1", "p2"]
+    np.testing.assert_allclose(Xm, donor.X, atol=1e-12)
+
+
+def test_tell_mode_refuses_resampled_dimensions(donor):
+    ws = WarmStart.from_history(donor, mode="tell")
+    opt = RandomSearch(RenamedTarget(), 8, 1)
+    with pytest.raises(ValueError, match="tell"):
+        Study(opt, warm_start=ws)
+
+
+def test_warm_start_validates_inputs():
+    with pytest.raises(ValueError, match="mode"):
+        WarmStart(np.zeros((2, 2)), np.zeros((2, 1)), mode="magic")
+    with pytest.raises(ValueError, match="rows"):
+        WarmStart(np.zeros((2, 2)), np.zeros((3, 1)))
+    with pytest.raises(ValueError, match="at least one"):
+        WarmStart(np.empty((0, 2)), np.empty((0, 1)))
+
+
+# ----------------------------------------------------------------------
+# run_trials plumbing
+# ----------------------------------------------------------------------
+def test_run_trials_applies_warm_start_per_trial(donor):
+    from repro.experiments import run_trials
+    ws = WarmStart.from_history(donor)
+    factory = lambda p, b, s: RandomSearch(p, b, s)
+    kwargs = dict(budget=6, n_trials=2, base_seed=11)
+    warm = run_trials(factory, lambda: ConstrainedSphere(3), warm_start=ws,
+                      **kwargs)
+    assert all(h.n_warm == donor.n_evals for h in warm)
+    assert all(h.n_evals == 6 for h in warm)
+    # trials stay independent (different seeds -> different fresh rows)
+    assert not np.array_equal(warm[0].X[warm[0].n_warm:],
+                              warm[1].X[warm[1].n_warm:])
+    # and are reproducible
+    again = run_trials(factory, lambda: ConstrainedSphere(3), warm_start=ws,
+                       **kwargs)
+    for a, b in zip(warm, again):
+        assert_history_equal(a, b)
+
+
+def test_forced_tell_rejects_donor_space_with_different_bounds():
+    # A forced mode='tell' donor whose names match but bounds differ would
+    # rescale the designs and attach donor F rows to designs they never
+    # described (then seed the cache with them) — it must refuse instead.
+    donor_space = DesignSpace([Variable("x0", 0.0, 1.0),
+                               Variable("x1", 0.0, 1.0)])
+    ws = WarmStart(np.array([[0.5, 0.5]]), np.array([[123.0]]),
+                   space=donor_space, mode="tell")
+    target = Sphere(2)  # same names x0/x1, bounds [-5, 5]
+    opt = RandomSearch(target, 8, 1)
+    with pytest.raises(ValueError, match="match the target exactly"):
+        Study(opt, warm_start=ws)
+    assert opt.history.n_total == 0          # nothing was told
+    assert opt.engine._cache == {}           # nothing was seeded
