@@ -3,7 +3,6 @@ the ask/tell optimizer protocol and the :class:`Study` run driver."""
 
 from .actor import Actor
 from .critic import Critic
-from .diskcache import DiskCache
 from .dnn_opt import DNNOpt
 from .engine import EvalEngine, EvalHandle, default_workers
 from .fom import fom_from_raw, fom_normalized, fom_tensor
@@ -23,8 +22,11 @@ __all__ = [
     "Optimizer",
     "OptimizationHistory",
     "BudgetExhausted",
+    "FleetCoordinator",
+    "RegistryServer",
     "ServiceError",
     "Study",
+    "WorkerRegistry",
     "WarmStart",
     "fom_normalized",
     "fom_from_raw",
@@ -34,10 +36,17 @@ __all__ = [
 
 
 def __getattr__(name):
-    # Lazy: ``python -m repro.core.service`` must not find the service
-    # module pre-imported by this package init (runpy would warn and run a
-    # second copy).
+    # Lazy: ``python -m repro.core.service`` / ``python -m
+    # repro.core.diskcache`` must not find those modules pre-imported by
+    # this package init (runpy would warn and run a second copy), so the
+    # service/fleet surface resolves on first touch instead.
     if name == "ServiceError":
         from .service import ServiceError
         return ServiceError
+    if name == "DiskCache":
+        from .diskcache import DiskCache
+        return DiskCache
+    if name in ("FleetCoordinator", "RegistryServer", "WorkerRegistry"):
+        from . import fleet
+        return getattr(fleet, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

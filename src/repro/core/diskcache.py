@@ -24,8 +24,15 @@ constructing the same problem agree on every key, and a rounded vs.
 unrounded view of one integer design can never split into two entries.
 
 The store is append-only: entries are immutable (a key's row is the
-deterministic simulator answer for its design) and never evicted.  Delete
-the directory to reclaim space.
+deterministic simulator answer for its design) and never evicted.  To
+reclaim space, either delete the directory or merge the accumulated
+per-process shards into one deduplicated shard::
+
+    python -m repro.core.diskcache --compact [DIR]
+
+(``DIR`` defaults to ``REPRO_CACHE_DIR``; run compaction offline — appends
+racing the shard swap would be lost).  Without ``--compact`` the CLI prints
+the store's stats as JSON.
 
 Record wire format (one per evaluated design)::
 
@@ -46,7 +53,7 @@ import zlib
 
 import numpy as np
 
-__all__ = ["DiskCache"]
+__all__ = ["DiskCache", "compact", "main"]
 
 _HEADER = struct.Struct("<16sII")
 
@@ -78,6 +85,7 @@ class DiskCache:
         self._writer = None                 # lazily-opened own shard handle
         self._writer_path: str | None = None
         self._last_refresh = -float("inf")
+        self._closed = False
         self._lock = threading.Lock()
         self.n_hits = 0
         self.n_misses = 0
@@ -110,10 +118,15 @@ class DiskCache:
 
     # -- writes ------------------------------------------------------------
     def put(self, key: bytes, row: np.ndarray) -> bool:
-        """Persist one row; returns False when the key is already stored."""
+        """Persist one row; returns False when the key is already stored.
+
+        After :meth:`close` this is a safe no-op (returns False) — straggler
+        threads completing an in-flight evaluation during engine teardown
+        must not crash on the closed writer handle.
+        """
         row = np.ascontiguousarray(np.asarray(row, dtype=np.float64).ravel())
         with self._lock:
-            if key in self._index:
+            if self._closed or key in self._index:
                 return False
             payload = row.tobytes()
             record = _HEADER.pack(key, len(payload),
@@ -174,22 +187,32 @@ class DiskCache:
         while len(data) - consumed >= _HEADER.size:
             key, length, crc = _HEADER.unpack_from(data, consumed)
             start = consumed + _HEADER.size
-            if length > MAX_ROW_BYTES or length % 8:
-                # Corrupt shard: stop indexing it (and never advance past
-                # the bad record, so the damage is visible in n_corrupt).
-                self.n_corrupt += 1
-                self._offsets[path] = size  # nothing after it is framed
-                return
-            if len(data) - start < length:
+            end = start + length
+            if length <= MAX_ROW_BYTES and length % 8 == 0 and end > len(data):
                 break  # torn tail / in-progress append: retry next refresh
-            payload = data[start:start + length]
-            if zlib.crc32(payload) != crc:
+            framed_ok = (length <= MAX_ROW_BYTES and length % 8 == 0
+                         and zlib.crc32(data[start:end]) == crc)
+            if not framed_ok:
+                if end >= len(data):
+                    # The bad bytes run to the end of what we can see.  A
+                    # reader racing a non-atomic append observes exactly
+                    # this (full header, short/garbled payload), so it is
+                    # NOT corruption yet: leave the offset before the
+                    # record and re-examine on the next refresh — once the
+                    # writer's append completes, the same bytes pass the
+                    # CRC.  (A genuinely damaged tail just keeps being
+                    # re-checked, which only costs a suffix re-read.)
+                    break
+                # Bad bytes *followed by more data*: the append completed
+                # long ago and the record is still bad -> real corruption.
+                # Stop indexing the shard and never advance past the
+                # damage, so it stays visible in n_corrupt.
                 self.n_corrupt += 1
                 self._offsets[path] = size
                 return
             self._index.setdefault(
-                key, np.frombuffer(payload, dtype=np.float64))
-            consumed = start + length
+                key, np.frombuffer(data[start:end], dtype=np.float64))
+            consumed = end
         self._offsets[path] = offset + consumed
 
     # -- lifecycle ---------------------------------------------------------
@@ -199,7 +222,10 @@ class DiskCache:
                     "misses": self.n_misses, "corrupt": self.n_corrupt}
 
     def close(self) -> None:
+        """Close the writer handle; later :meth:`put` calls become no-ops
+        (and :meth:`get` keeps answering from the in-memory index)."""
         with self._lock:
+            self._closed = True
             if self._writer is not None:
                 try:
                     self._writer.close()
@@ -217,3 +243,91 @@ class DiskCache:
     def __repr__(self) -> str:
         return (f"DiskCache({self.directory!r}, entries={len(self._index)}, "
                 f"hits={self.n_hits})")
+
+
+# ----------------------------------------------------------------------
+# offline maintenance: python -m repro.core.diskcache
+# ----------------------------------------------------------------------
+def compact(directory: str | os.PathLike) -> dict:
+    """Merge every shard into one deduplicated shard file.
+
+    Long-running fleets accumulate one shard per worker process per
+    restart; compaction rewrites the surviving entries (first-writer-wins,
+    matching the reader's ``setdefault`` semantics) into a single shard and
+    deletes the old files — dropping duplicate records, torn tails and
+    corrupt suffixes on the way.  **Offline operation**: appends racing the
+    shard swap are lost, so run it with no live writers.
+
+    Returns a report dict (shards/bytes before and after, entries kept,
+    corrupt records dropped).
+    """
+    directory = os.fspath(directory)
+    cache = DiskCache(directory, refresh_interval=0.0)
+    try:
+        with cache._lock:
+            entries = dict(cache._index)
+            n_corrupt = cache.n_corrupt
+    finally:
+        cache.close()
+    old = [name for name in sorted(os.listdir(directory))
+           if name.startswith("shard-") and name.endswith(".bin")]
+    bytes_before = 0
+    for name in old:
+        try:
+            bytes_before += os.path.getsize(os.path.join(directory, name))
+        except OSError:
+            pass
+    tmp_path = os.path.join(directory,
+                            f"compact-{os.getpid()}-{os.urandom(4).hex()}.tmp")
+    with open(tmp_path, "wb") as fh:
+        for key, row in entries.items():
+            payload = row.tobytes()
+            fh.write(_HEADER.pack(key, len(payload),
+                                  zlib.crc32(payload)) + payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    final_path = os.path.join(
+        directory, f"shard-0-compacted-{os.urandom(4).hex()}.bin")
+    os.replace(tmp_path, final_path)
+    for name in old:
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:
+            pass
+    return {"directory": directory, "entries": len(entries),
+            "shards_before": len(old), "shards_after": 1,
+            "bytes_before": bytes_before,
+            "bytes_after": os.path.getsize(final_path),
+            "corrupt_dropped": n_corrupt}
+
+
+def main(argv=None) -> None:
+    import argparse
+    import json
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.diskcache",
+        description="Inspect or compact a persistent evaluation cache "
+                    "directory (the EvalEngine cache_dir disk tier).")
+    parser.add_argument("directory", nargs="?",
+                        default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="cache directory (default: REPRO_CACHE_DIR)")
+    parser.add_argument("--compact", action="store_true",
+                        help="merge all shards into one deduplicated shard "
+                             "(offline: stop writers first)")
+    args = parser.parse_args(argv)
+    if not args.directory:
+        parser.error("no directory given and REPRO_CACHE_DIR is not set")
+    if args.compact:
+        print(json.dumps(compact(args.directory)))
+        return
+    cache = DiskCache(args.directory, refresh_interval=0.0)
+    try:
+        report = cache.stats()
+        report["directory"] = cache.directory
+    finally:
+        cache.close()
+    print(json.dumps(report))
+
+
+if __name__ == "__main__":
+    main()

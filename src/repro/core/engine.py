@@ -71,7 +71,7 @@ import pickle
 import threading
 import weakref
 from collections import OrderedDict
-from concurrent.futures import (CancelledError, ProcessPoolExecutor,
+from concurrent.futures import (CancelledError, Future, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
 from itertools import count
 from time import perf_counter
@@ -180,6 +180,16 @@ class EvalEngine:
         (default: the ``REPRO_SERVICE_HOSTS`` environment variable,
         comma-separated).  Start workers with
         ``python -m repro.core.service --port PORT``.
+    dispatcher:
+        A pre-built remote-style dispatcher — any object with
+        ``dispatch(problem, token, X) -> (rows, counters, n_sims)`` and
+        ``close()`` — used *instead of* constructing a
+        :class:`~repro.core.service.RemoteDispatcher` from ``hosts``.
+        Implies ``backend="remote"``.  This is how
+        :meth:`~repro.core.fleet.FleetCoordinator.engine` hands each tenant
+        a standard engine whose misses flow through the shared fleet
+        scheduler; closing the engine closes (detaches) only the injected
+        dispatcher, never the fleet behind it.
 
     The engine is reusable across batches and across optimizers sharing one
     problem; :meth:`close` (or use as a context manager) releases the pool
@@ -187,7 +197,10 @@ class EvalEngine:
     """
 
     def __init__(self, backend: str = "serial", *, workers: int | None = None,
-                 cache_size: int = 100_000, cache_dir=None, hosts=None):
+                 cache_size: int = 100_000, cache_dir=None, hosts=None,
+                 dispatcher=None):
+        if dispatcher is not None:
+            backend = "remote"
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if workers is not None and workers < 1:
@@ -198,7 +211,7 @@ class EvalEngine:
             hosts = [h.strip() for h in os.environ.get(HOSTS_ENV, "").split(",")
                      if h.strip()]
         self.hosts = list(hosts)
-        if backend == "remote" and not self.hosts:
+        if backend == "remote" and not self.hosts and dispatcher is None:
             raise ValueError(
                 f"remote backend needs hosts=['host:port', ...] or {HOSTS_ENV}")
         self.backend = backend
@@ -226,7 +239,7 @@ class EvalEngine:
         self._executor = None
         self._executor_token: bytes | None = None  # problem the pool is warm for
         self._async = None
-        self._remote = None
+        self._remote = dispatcher
         # Non-blocking submit/gather machinery: a small thread pool runs the
         # dispatches, ``_inflight`` maps each pending design's cache key to
         # the future that will produce its row (so overlapping submits never
@@ -292,7 +305,18 @@ class EvalEngine:
             self._executor_token = None
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        """Drop every in-memory cache entry (thread-safe).
+
+        Taken under ``_state_lock`` so it cannot race the submit-pool
+        threads that read/write the cache mid-dispatch.  Only the RAM tier
+        is dropped: the persistent disk tier (``cache_dir``) keeps its
+        entries *and* its index — this method means "free memory", not
+        "forget results"; a later miss may still be answered from disk.
+        To actually discard persisted results, delete the directory (or
+        rewrite it with ``python -m repro.core.diskcache --compact``).
+        """
+        with self._state_lock:
+            self._cache.clear()
 
     def __enter__(self) -> "EvalEngine":
         return self
@@ -314,35 +338,60 @@ class EvalEngine:
         normalized) before hashing, so a rounded and an unrounded view of
         the same integer design always share one cache/dedup entry.
         Duplicate designs within one batch are simulated once (cache enabled
-        or not).
+        or not), and a design already in flight from an outstanding
+        :meth:`submit` is *waited for*, never re-simulated — the blocking
+        path goes through the same in-flight registry as the pipelined one
+        (previously it raced a concurrent submit of the same design into a
+        second simulation whose result clobbered the first in the cache).
         """
         X = problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         token = self._problem_token(problem)
         keys = [self._key(token, x) for x in X]
 
-        # Resolve cache hits and in-batch duplicates before dispatching.
+        # Resolve cache hits, in-batch duplicates and in-flight twins before
+        # dispatching; register our own pending designs so a concurrent
+        # submit() dedups against this blocking batch too.
         key_to_row: dict[bytes, np.ndarray] = {}
+        waits: dict[bytes, object] = {}
         pending_keys: list[bytes] = []
         pending_rows: list[np.ndarray] = []
+        own_future: Future | None = None
         with self._state_lock:
             for key, x in zip(keys, X):
-                if key in key_to_row:
+                if key in key_to_row or key in waits:
                     self.n_dedup += 1
                     continue
                 cached = self._cache_get(key)
                 if cached is not None:
                     key_to_row[key] = cached
                     self.n_cache_hits += 1
-                else:
-                    key_to_row[key] = None  # placeholder, filled after dispatch
-                    pending_keys.append(key)
-                    pending_rows.append(x)
+                    continue
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    waits[key] = inflight
+                    self.n_dedup += 1
+                    continue
+                key_to_row[key] = None  # placeholder, filled after dispatch
+                pending_keys.append(key)
+                pending_rows.append(x)
+            if pending_rows:
+                own_future = Future()
+                own_future.set_running_or_notify_cancel()
+                for key in pending_keys:
+                    self._inflight[key] = own_future
 
         if pending_rows:
             profile = _spice_counters()
             before = profile.snapshot() if profile is not None else None
             t0 = perf_counter()
-            fresh = self._dispatch(problem, np.asarray(pending_rows), token)
+            try:
+                fresh = self._dispatch(problem, np.asarray(pending_rows), token)
+            except BaseException as exc:
+                with self._state_lock:
+                    for key in pending_keys:
+                        self._inflight.pop(key, None)
+                own_future.set_exception(exc)
+                raise
             elapsed = perf_counter() - t0
             with self._state_lock:
                 self.dispatch_seconds += elapsed
@@ -354,6 +403,12 @@ class EvalEngine:
                 for key, row in zip(pending_keys, fresh):
                     key_to_row[key] = row
                     self._cache_put(key, row, durable)
+                    self._inflight.pop(key, None)
+            own_future.set_result(dict(zip(pending_keys, fresh)))
+
+        for key, future in waits.items():
+            # Designs owned by a concurrent submit: block for *its* rows.
+            key_to_row[key] = future.result()[key]
 
         return np.vstack([key_to_row[key] for key in keys])
 
@@ -550,7 +605,10 @@ class EvalEngine:
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
-        if durable and self._disk is not None:
+        # Straggler dispatch threads may complete after close(); the closed
+        # check (and DiskCache's own put-after-close no-op) keeps them from
+        # hitting the closed writer handle.
+        if durable and self._disk is not None and not self._closed:
             self._disk.put(key, row)
 
     def seed_cache(self, problem, X: np.ndarray, F: np.ndarray) -> int:

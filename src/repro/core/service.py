@@ -15,7 +15,11 @@ using either
   processes (:class:`EvalWorkerServer`, one per host/shard), each running
   the existing *serial* engine.  Backend name: ``"remote"``.
 
-Wire protocol (version 1)
+The multi-tenant fleet control plane (worker registry, heartbeats, fair
+cross-study scheduling) lives in :mod:`repro.core.fleet` and is built on
+the same wire protocol and :class:`MultiplexedConnection` primitive.
+
+Wire protocol (version 2)
 -------------------------
 
 Every frame is a 4-byte big-endian unsigned length followed by that many
@@ -23,17 +27,33 @@ bytes of UTF-8 JSON::
 
     frame := uint32_be(len(payload)) + payload          # payload = JSON object
 
-Requests carry an ``"op"`` key; every reply carries ``"ok"``::
+Requests carry an ``"op"`` key; every reply carries ``"ok"``.  Version 2
+adds **request multiplexing**: a request MAY carry an integer ``"id"``, and
+the reply to an id-carrying request echoes the same ``"id"`` — replies on
+one connection may then arrive *out of order*, and several requests (from
+several tenants, or overlapping ``submit()`` dispatches) can be in flight
+on one shared per-host connection at once.  A request *without* an ``"id"``
+is answered in version-1 mode: strictly in order, one reply per request,
+before the next frame is read — so v1 coordinators keep working against v2
+workers unchanged.  The ``hello`` exchange is always id-less (it happens
+before either side turns multiplexing on) and carries the worker's protocol
+version, which is how a coordinator learns whether it may send ids at all::
 
     -> {"op": "hello"}
-    <- {"ok": true, "protocol": 1, "pid": 1234, "problems": 0}
+    <- {"ok": true, "protocol": 2, "pid": 1234, "problems": 0}
 
-    -> {"op": "put_problem", "token": "<hex>", "blob": "<base64 pickle>"}
-    <- {"ok": true}
+    -> {"op": "put_problem", "token": "<hex>", "blob": "<base64 pickle>",
+        "id": 7}
+    <- {"ok": true, "id": 7}
 
-    -> {"op": "eval", "token": "<hex>", "X": [[...], ...]}
+    -> {"op": "eval", "token": "<hex>", "X": [[...], ...], "id": 8}
     <- {"ok": true, "F": [[...], ...], "counters": {"assemble_s": ...},
-        "n_sims": 4}
+        "n_sims": 4, "id": 8}
+
+    -> {"op": "stats", "id": 9}
+    <- {"ok": true, "pid": 1234, "n_sims": 120, "cache_hits": 30,
+        "disk_hits": 4, "cache_entries": 120, "problems": 2,
+        "uptime_s": 17.2, "id": 9}
 
     -> {"op": "shutdown"}
     <- {"ok": true}                                     # then the server exits
@@ -42,7 +62,8 @@ Requests carry an ``"op"`` key; every reply carries ``"ok"``::
 chunk, so the coordinator's :meth:`EvalEngine.hotpath_report` stays faithful
 even though the simulation happened in another process on another host.
 ``n_sims`` is the number of designs the worker actually simulated (its own
-serial engine may answer repeats from its per-process cache).
+serial engine may answer repeats from its per-process cache — and, with
+``--cache-dir``, from its own persistent disk tier).
 
 Determinism: every design is evaluated by the unchanged serial engine in
 *some* worker, results are written back by original batch index, and JSON
@@ -60,7 +81,12 @@ Problems travel as pickles, so run workers only on hosts/networks you trust
     python -m repro.core.service --port 9101
 
 ``--port 0`` picks a free port; the worker prints
-``repro-eval-worker listening on HOST:PORT`` on stdout when ready.
+``repro-eval-worker listening on HOST:PORT`` on stdout when ready.  With
+``--register HOST:PORT`` the worker announces itself to a fleet registry
+(see :mod:`repro.core.fleet`) and keeps a heartbeat alive, so coordinators
+discover it instead of being configured with a static host list; with
+``--cache-dir DIR`` the worker's serial engine answers repeated designs
+from its own persistent disk tier across restarts.
 """
 
 from __future__ import annotations
@@ -71,18 +97,24 @@ import base64
 import json
 import os
 import pickle
+import select
 import socket
 import struct
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
+from itertools import count
+from queue import SimpleQueue
 
 import numpy as np
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "COMPAT_PROTOCOLS",
     "MAX_FRAME_BYTES",
     "AsyncDispatcher",
+    "MultiplexedConnection",
     "RemoteDispatcher",
     "EvalWorkerServer",
     "ServiceError",
@@ -93,7 +125,11 @@ __all__ = [
     "main",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: protocol versions a coordinator will talk to.  Version 1 peers are
+#: served in strict request/reply order (no ids on the wire).
+COMPAT_PROTOCOLS = (1, 2)
 
 
 class ServiceError(RuntimeError):
@@ -206,6 +242,144 @@ class AsyncDispatcher:
 
 
 # ----------------------------------------------------------------------
+# multiplexed per-host connection (protocol v2 client side)
+# ----------------------------------------------------------------------
+class MultiplexedConnection:
+    """One persistent connection to a worker, shared by concurrent requesters.
+
+    Against a protocol-2 peer, every request is stamped with a fresh integer
+    ``id`` and a background reader thread routes replies back to their
+    callers by that id — so overlapping dispatches (two studies' chunks, or
+    two pipelined ``submit()`` batches) interleave on one socket instead of
+    queueing behind each other.  Against a protocol-1 peer the connection
+    degrades transparently to serialized request/reply (no ids on the
+    wire), which keeps old workers usable.
+
+    A transport failure fails *every* pending request with
+    :class:`ConnectionError`; the connection is then unusable (callers drop
+    and reconnect).
+    """
+
+    def __init__(self, addr: tuple[str, int], *, connect_timeout: float = 10.0):
+        self.addr = addr
+        self._sock = socket.create_connection(addr, timeout=connect_timeout)
+        self._sock.settimeout(None)  # simulations may legitimately take minutes
+        try:
+            # Handshake is id-less by definition: neither side multiplexes
+            # until the worker's protocol version is known.
+            send_msg(self._sock, {"op": "hello"})
+            hello = recv_msg(self._sock)
+        except OSError:
+            self._sock.close()
+            raise
+        if (not hello or not hello.get("ok")
+                or hello.get("protocol") not in COMPAT_PROTOCOLS):
+            self._sock.close()
+            raise ConnectionError(
+                f"{addr[0]}:{addr[1]}: bad hello reply {hello!r}")
+        self.hello = hello
+        self.protocol = int(hello["protocol"])
+        self._lock = threading.Lock()        # pending table + broken flag
+        self._send_lock = threading.Lock()   # one frame on the wire at a time
+        self._v1_lock = threading.Lock()     # serialized mode for v1 peers
+        self._pending: dict[int, SimpleQueue] = {}
+        self._ids = count(1)
+        self._broken: Exception | None = None
+        self._reader = None
+        if self.protocol >= 2:
+            self._reader = threading.Thread(
+                target=self._read_loop, name=f"mux-read-{addr[0]}:{addr[1]}",
+                daemon=True)
+            self._reader.start()
+
+    @property
+    def multiplexed(self) -> bool:
+        return self.protocol >= 2
+
+    def request(self, msg: dict) -> dict:
+        """Send one request and block for its reply (thread-safe).
+
+        Concurrent callers interleave on the socket when the peer speaks
+        protocol 2; against a v1 peer they queue per *request* (still finer
+        than queueing per whole dispatch).
+        """
+        if not self.multiplexed:
+            with self._v1_lock:
+                if self._broken is not None:
+                    raise ConnectionError(str(self._broken))
+                send_msg(self._sock, msg)
+                reply = recv_msg(self._sock)
+                if reply is None:
+                    raise ConnectionError("connection closed")
+                return reply
+        rid = next(self._ids)
+        queue: SimpleQueue = SimpleQueue()
+        with self._lock:
+            if self._broken is not None:
+                raise ConnectionError(str(self._broken))
+            self._pending[rid] = queue
+        try:
+            with self._send_lock:
+                send_msg(self._sock, {**msg, "id": rid})
+        except BaseException:
+            with self._lock:
+                self._pending.pop(rid, None)
+            raise
+        reply = queue.get()
+        if isinstance(reply, Exception):
+            raise ConnectionError(str(reply)) from reply
+        return reply
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                reply = recv_msg(self._sock)
+                if reply is None:
+                    raise ConnectionError("connection closed")
+                rid = reply.get("id")
+                if rid is None:
+                    # A v2 peer must echo ids; an id-less frame here means
+                    # the peer is broken or the stream is corrupt.
+                    raise ConnectionError(
+                        "protocol violation: reply without request id on a "
+                        "multiplexed connection")
+                with self._lock:
+                    queue = self._pending.pop(rid, None)
+                if queue is not None:
+                    queue.put(reply)
+        except Exception as exc:
+            self._fail(exc)
+
+    def _fail(self, exc: Exception) -> None:
+        with self._lock:
+            if self._broken is None:
+                self._broken = exc
+            pending, self._pending = self._pending, {}
+        for queue in pending.values():
+            queue.put(exc)
+
+    def close(self) -> None:
+        """Shut the socket down; every pending request raises promptly."""
+        try:
+            # Unblock any thread parked in recv on this socket before
+            # releasing the fd — close() alone can leave a concurrent
+            # reader waiting on a kernel buffer that never fills.
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._fail(ConnectionError("connection closed"))
+
+    def __repr__(self) -> str:
+        mode = "mux" if self.multiplexed else "v1"
+        return (f"MultiplexedConnection({self.addr[0]}:{self.addr[1]}, {mode}, "
+                f"pending={len(self._pending)})")
+
+
+# ----------------------------------------------------------------------
 # worker server (one shard)
 # ----------------------------------------------------------------------
 class EvalWorkerServer:
@@ -213,8 +387,16 @@ class EvalWorkerServer:
 
     Problems are installed once per server (``put_problem``) and referenced
     by their content token afterwards, so steady-state traffic is just design
-    vectors and performance rows.  Evaluations are serialized by a lock: a
-    worker *is* one serial engine, concurrent clients queue.
+    vectors and performance rows.  Evaluations are serialized by a lock (a
+    worker *is* one serial engine) but protocol-2 requests are *accepted*
+    concurrently: an id-carrying request is answered whenever its handler
+    finishes, so control ops (``hello``/``stats``) and queued chunks from
+    other tenants never wait behind a long evaluation's wire round-trip.
+    Id-less requests keep the strict version-1 request/reply order.
+
+    With ``cache_dir`` the worker's engine gets its own persistent disk
+    tier, so a restarted shard answers repeated designs with zero
+    simulations.
     """
 
     #: installed problems kept per worker (LRU); coordinators re-ship on a
@@ -222,14 +404,17 @@ class EvalWorkerServer:
     MAX_PROBLEMS = 32
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 cache_size: int = 100_000):
+                 cache_size: int = 100_000, cache_dir=None):
         from .engine import EvalEngine, _spice_counters
         _spice_counters()  # preload the simulator before "listening" prints,
         #                    so the first eval doesn't pay the import
-        self._engine = EvalEngine("serial", cache_size=cache_size)
+        self._engine = EvalEngine("serial", cache_size=cache_size,
+                                  cache_dir=cache_dir)
         self._problems: "OrderedDict[str, object]" = OrderedDict()
+        self._problems_lock = threading.Lock()
         self._eval_lock = threading.Lock()
         self._shutdown = threading.Event()
+        self._started = time.monotonic()
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
 
@@ -263,6 +448,7 @@ class EvalWorkerServer:
 
     # -- per-connection loop ----------------------------------------------
     def _serve_connection(self, conn: socket.socket) -> None:
+        write_lock = threading.Lock()  # concurrent repliers share the socket
         with conn:
             while not self._shutdown.is_set():
                 try:
@@ -271,17 +457,34 @@ class EvalWorkerServer:
                     return
                 if msg is None:
                     return
-                try:
-                    reply = self._handle(msg)
-                except Exception as exc:  # a bad request must not kill the shard
-                    reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-                try:
-                    send_msg(conn, reply)
-                except OSError:
-                    return
-                if msg.get("op") == "shutdown":
-                    self.close()
-                    return
+                rid = msg.get("id")
+                if rid is None or msg.get("op") == "shutdown":
+                    # v1 semantics: handle inline, reply in order.  shutdown
+                    # is always inline so the final reply wins the race with
+                    # the listener teardown.
+                    if not self._reply(conn, write_lock, msg, rid):
+                        return
+                    if msg.get("op") == "shutdown":
+                        self.close()
+                        return
+                else:
+                    threading.Thread(target=self._reply,
+                                     args=(conn, write_lock, msg, rid),
+                                     daemon=True).start()
+
+    def _reply(self, conn, write_lock, msg: dict, rid) -> bool:
+        try:
+            reply = self._handle(msg)
+        except Exception as exc:  # a bad request must not kill the shard
+            reply = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if rid is not None:
+            reply["id"] = rid
+        try:
+            with write_lock:
+                send_msg(conn, reply)
+        except OSError:
+            return False
+        return True
 
     def _handle(self, msg: dict) -> dict:
         op = msg.get("op")
@@ -290,24 +493,30 @@ class EvalWorkerServer:
                     "problems": len(self._problems)}
         if op == "put_problem":
             token = msg["token"]
-            if token not in self._problems:
-                self._problems[token] = pickle.loads(base64.b64decode(msg["blob"]))
-            self._problems.move_to_end(token)
-            while len(self._problems) > self.MAX_PROBLEMS:
-                self._problems.popitem(last=False)
+            with self._problems_lock:
+                if token not in self._problems:
+                    self._problems[token] = pickle.loads(
+                        base64.b64decode(msg["blob"]))
+                self._problems.move_to_end(token)
+                while len(self._problems) > self.MAX_PROBLEMS:
+                    self._problems.popitem(last=False)
             return {"ok": True}
         if op == "eval":
             return self._eval(msg)
+        if op == "stats":
+            return self._stats()
         if op == "shutdown":
             return {"ok": True}
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     def _eval(self, msg: dict) -> dict:
-        problem = self._problems.get(msg["token"])
+        with self._problems_lock:
+            problem = self._problems.get(msg["token"])
+            if problem is not None:
+                self._problems.move_to_end(msg["token"])
         if problem is None:
             return {"ok": False, "need_problem": True,
                     "error": "unknown problem token (send put_problem first)"}
-        self._problems.move_to_end(msg["token"])
         from .engine import _spice_counters
         X = np.asarray(msg["X"], dtype=np.float64)
         with self._eval_lock:
@@ -321,6 +530,17 @@ class EvalWorkerServer:
                 "counters": {k: v for k, v in counters.items() if v},
                 "n_sims": n_sims}
 
+    def _stats(self) -> dict:
+        engine = self._engine
+        return {"ok": True, "pid": os.getpid(),
+                "n_sims": engine.n_sim_calls,
+                "cache_hits": engine.n_cache_hits,
+                "disk_hits": engine.n_disk_hits,
+                "cache_entries": len(engine._cache),
+                "cache_dir": engine.cache_dir,
+                "problems": len(self._problems),
+                "uptime_s": round(time.monotonic() - self._started, 3)}
+
 
 # ----------------------------------------------------------------------
 # remote (multi-host) coordinator
@@ -328,10 +548,15 @@ class EvalWorkerServer:
 class RemoteDispatcher:
     """Coordinator for the ``"remote"`` backend.
 
-    Keeps one persistent connection per host, ships each problem at most
-    once per connection (re-shipping on a ``need_problem`` reply, e.g. after
-    a worker restart or LRU eviction), and feeds work-stealing chunks to
-    hosts as they finish.  Failures are told apart: a *transport* error
+    Keeps one persistent :class:`MultiplexedConnection` per host, ships each
+    problem at most once per connection (re-shipping on a ``need_problem``
+    reply, e.g. after a worker restart or LRU eviction), and feeds
+    work-stealing chunks to hosts as they finish.  Overlapping
+    :meth:`dispatch` calls — the engine's pipelined ``submit()`` batches —
+    interleave their chunks on the shared per-host connections instead of
+    queueing behind one another (against a protocol-1 worker, requests
+    serialize per chunk, which is still finer than the old
+    dispatch-at-a-time lock).  Failures are told apart: a *transport* error
     drops the host and re-queues its chunk for the survivors, while a
     worker's *rejection* of a well-delivered request (the evaluation itself
     raised) aborts the dispatch immediately — retrying a deterministic
@@ -353,57 +578,53 @@ class RemoteDispatcher:
         self.max_chunk_requeues = (2 * len(self.addresses)
                                    if max_chunk_requeues is None
                                    else int(max_chunk_requeues))
-        self._conns: dict[tuple[str, int], socket.socket] = {}
+        self._conns: dict[tuple[str, int], MultiplexedConnection] = {}
+        self._conn_locks: dict[tuple[str, int], threading.Lock] = {}
         self._shipped: dict[tuple[str, int], set[str]] = {}
         self._closed = False
         self._lock = threading.Lock()
-        # One dispatch at a time per coordinator: the persistent per-host
-        # sockets carry strictly request/reply frames, so two overlapping
-        # dispatch() calls (engine.submit() pipelining) must queue here
-        # rather than interleave frames on a shared connection.  Pipelined
-        # studies still win: the *optimizer's* proposal work overlaps the
-        # batch in flight even when batches queue at this seam.
-        self._dispatch_lock = threading.Lock()
 
     # -- connection management --------------------------------------------
-    def _connection(self, addr: tuple[str, int]) -> socket.socket:
+    def _connection(self, addr: tuple[str, int]) -> MultiplexedConnection:
         if self._closed:
             raise ServiceError("remote dispatcher is closed")
-        conn = self._conns.get(addr)
-        if conn is not None:
+        with self._lock:
+            conn = self._conns.get(addr)
+            if conn is not None:
+                return conn
+            setup = self._conn_locks.setdefault(addr, threading.Lock())
+        # Per-address setup lock: concurrent dispatches agree on one
+        # connection per host without serializing *different* hosts'
+        # (possibly slow) connect attempts behind each other.
+        with setup:
+            with self._lock:
+                conn = self._conns.get(addr)
+                if conn is not None:
+                    return conn
+            conn = MultiplexedConnection(addr,
+                                         connect_timeout=self.connect_timeout)
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    raise ServiceError("remote dispatcher is closed")
+                self._conns[addr] = conn
+                self._shipped.setdefault(addr, set())
             return conn
-        conn = socket.create_connection(addr, timeout=self.connect_timeout)
-        conn.settimeout(None)  # simulations may legitimately take minutes
-        send_msg(conn, {"op": "hello"})
-        hello = recv_msg(conn)
-        if not hello or not hello.get("ok") or hello.get("protocol") != PROTOCOL_VERSION:
-            conn.close()
-            raise ConnectionError(f"{addr[0]}:{addr[1]}: bad hello reply {hello!r}")
-        self._conns[addr] = conn
-        self._shipped[addr] = set()
-        return conn
 
     def _drop_connection(self, addr: tuple[str, int]) -> None:
-        conn = self._conns.pop(addr, None)
-        self._shipped.pop(addr, None)
+        with self._lock:
+            conn = self._conns.pop(addr, None)
+            self._shipped.pop(addr, None)
         if conn is not None:
-            try:
-                # Unblock any thread parked in recv on this socket before
-                # releasing the fd — close() alone can leave a concurrent
-                # reader waiting on a kernel buffer that never fills.
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
+            conn.close()
 
     def close(self) -> None:
         """Drop every connection; in-flight dispatches fail with
         :class:`ServiceError` instead of waiting on dead sockets."""
         self._closed = True
-        for addr in list(self._conns):
+        with self._lock:
+            addrs = list(self._conns)
+        for addr in addrs:
             self._drop_connection(addr)
 
     # -- problem shipping --------------------------------------------------
@@ -421,16 +642,20 @@ class RemoteDispatcher:
         """The shard is healthy but refused the request itself."""
 
     def _ship_problem(self, conn, addr, token_hex: str, blob: str) -> None:
-        send_msg(conn, {"op": "put_problem", "token": token_hex, "blob": blob})
-        reply = recv_msg(conn)
-        if reply is None:
-            raise ConnectionError("connection closed")
+        reply = conn.request({"op": "put_problem", "token": token_hex,
+                              "blob": blob})
         if not reply.get("ok"):
             # e.g. the problem's class isn't importable on the worker host —
             # deterministic, so don't retry it against other shards.
             raise RemoteDispatcher._EvalRejected(
                 f"put_problem rejected: {reply.get('error', reply)}")
-        self._shipped[addr].add(token_hex)
+        with self._lock:
+            if addr in self._shipped:
+                self._shipped[addr].add(token_hex)
+
+    def _is_shipped(self, addr, token_hex: str) -> bool:
+        with self._lock:
+            return token_hex in self._shipped.get(addr, ())
 
     # -- dispatch ----------------------------------------------------------
     def dispatch(self, problem, token: bytes,
@@ -439,20 +664,17 @@ class RemoteDispatcher:
 
         Returns ``(rows, counters, n_worker_sims)`` where ``counters`` are
         the summed worker-side hot-path deltas and ``n_worker_sims`` the
-        total simulations the shards actually ran.
+        total simulations the shards actually ran.  Thread-safe: overlapping
+        calls interleave chunks on the shared per-host connections.
         """
-        with self._dispatch_lock:
-            return self._dispatch_locked(problem, token, X)
-
-    def _dispatch_locked(self, problem, token: bytes,
-                         X: np.ndarray) -> tuple[np.ndarray, dict[str, float], int]:
         token_hex = token.hex()
         # Encode the problem only when some host still needs it — the
         # steady state (every connection warm, problem shipped) pays no
         # per-dispatch pickling.
-        need_ship = any(addr not in self._conns
-                        or token_hex not in self._shipped.get(addr, ())
-                        for addr in self.addresses)
+        with self._lock:
+            need_ship = any(addr not in self._conns
+                            or token_hex not in self._shipped.get(addr, ())
+                            for addr in self.addresses)
         blob = self._encode_problem(problem) if need_ship else None
 
         out: list = [None] * len(X)
@@ -465,21 +687,21 @@ class RemoteDispatcher:
         sims_total = 0
         errors: list[str] = []
         fatal: list[str] = []
+        state_lock = threading.Lock()  # this dispatch's queue/results only
 
         def eval_chunk(conn, addr, start: int, stop: int) -> dict:
             request = {"op": "eval", "token": token_hex,
                        "X": X[start:stop].tolist()}
             for attempt in (0, 1):
-                send_msg(conn, request)
-                reply = recv_msg(conn)
-                if reply is None:
-                    raise ConnectionError("connection closed")
+                reply = conn.request(request)
                 if reply.get("ok"):
                     return reply
                 if reply.get("need_problem") and attempt == 0:
                     # Worker restarted or LRU-evicted the problem: re-ship
                     # over the live connection and retry the chunk once.
-                    self._shipped[addr].discard(token_hex)
+                    with self._lock:
+                        if addr in self._shipped:
+                            self._shipped[addr].discard(token_hex)
                     self._ship_problem(conn, addr, token_hex,
                                        blob or self._encode_problem(problem))
                     continue
@@ -492,19 +714,20 @@ class RemoteDispatcher:
             label = f"{addr[0]}:{addr[1]}"
             try:
                 conn = self._connection(addr)
-                if token_hex not in self._shipped[addr]:
-                    self._ship_problem(conn, addr, token_hex, blob)
+                if not self._is_shipped(addr, token_hex):
+                    self._ship_problem(conn, addr, token_hex,
+                                       blob or self._encode_problem(problem))
             except RemoteDispatcher._EvalRejected as exc:
-                with self._lock:
+                with state_lock:
                     fatal.append(f"{label}: {exc}")
                 return
             except Exception as exc:
-                with self._lock:
+                with state_lock:
                     errors.append(f"{label}: {exc}")
                 self._drop_connection(addr)
                 return
             while True:
-                with self._lock:
+                with state_lock:
                     if fatal or not pending:
                         return
                     start, stop, requeues = pending.popleft()
@@ -513,11 +736,11 @@ class RemoteDispatcher:
                 except RemoteDispatcher._EvalRejected as exc:
                     # Deterministic failure: another shard would reject it
                     # too.  Abort the dispatch, keep the connection.
-                    with self._lock:
+                    with state_lock:
                         fatal.append(f"{label}: {exc}")
                     return
                 except Exception as exc:
-                    with self._lock:
+                    with state_lock:
                         errors.append(f"{label}: {exc}")
                         if requeues < self.max_chunk_requeues:
                             pending.append((start, stop, requeues + 1))
@@ -529,7 +752,7 @@ class RemoteDispatcher:
                     return
                 rows = reply["F"]
                 out[start:stop] = [np.asarray(r, dtype=np.float64) for r in rows]
-                with self._lock:
+                with state_lock:
                     for name, value in reply.get("counters", {}).items():
                         counters_total[name] = counters_total.get(name, 0.0) + value
                     sims_total += int(reply.get("n_sims", len(rows)))
@@ -554,12 +777,19 @@ class RemoteDispatcher:
 # ----------------------------------------------------------------------
 # worker entrypoint: python -m repro.core.service
 # ----------------------------------------------------------------------
-def spawn_local_worker(*, cache_size: int | None = None):
+def spawn_local_worker(*, cache_size: int | None = None, cache_dir=None,
+                       register: str | None = None,
+                       heartbeat: float | None = None,
+                       startup_timeout: float = 60.0):
     """Start a worker server subprocess on a free local port.
 
     Returns ``(Popen, "host:port")`` once the worker prints its readiness
-    banner.  Convenience for tests/benchmarks and quick local shards; for a
-    long-lived deployment run ``python -m repro.core.service`` yourself.
+    banner.  Interpreter startup noise (NumPy/deprecation warnings on the
+    merged stderr) is skipped — the banner is searched for line by line
+    until ``startup_timeout`` seconds, instead of killing a healthy worker
+    whose *first* output line happens to be a warning.  Convenience for
+    tests/benchmarks and quick local shards; for a long-lived deployment
+    run ``python -m repro.core.service`` yourself.
     """
     import subprocess
     import sys
@@ -570,13 +800,73 @@ def spawn_local_worker(*, cache_size: int | None = None):
     cmd = [sys.executable, "-m", "repro.core.service", "--port", "0"]
     if cache_size is not None:
         cmd += ["--cache-size", str(cache_size)]
+    if cache_dir is not None:
+        cmd += ["--cache-dir", os.fspath(cache_dir)]
+    if register:
+        cmd += ["--register", register]
+    if heartbeat is not None:
+        cmd += ["--heartbeat", str(heartbeat)]
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
-                            stderr=subprocess.STDOUT, text=True, env=env)
-    line = proc.stdout.readline()
-    if "listening on" not in line:
-        proc.kill()
-        raise RuntimeError(f"worker failed to start: {line!r}")
-    return proc, line.rsplit("listening on ", 1)[1].split()[0]
+                            stderr=subprocess.STDOUT, env=env)
+    fd = proc.stdout.fileno()
+    deadline = time.monotonic() + float(startup_timeout)
+    buf = b""
+    noise: list[str] = []
+    while True:
+        while b"\n" in buf:
+            raw, _, buf = buf.partition(b"\n")
+            line = raw.decode("utf-8", "replace")
+            if "listening on" in line:
+                return proc, line.rsplit("listening on ", 1)[1].split()[0]
+            noise.append(line)  # warnings/deprecations before the banner
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            proc.kill()
+            raise RuntimeError(
+                f"worker failed to start within {startup_timeout:g}s; "
+                f"output so far: {noise[-5:]!r}")
+        ready, _, _ = select.select([fd], [], [], min(remaining, 0.5))
+        if not ready:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"worker exited with {proc.returncode} before its "
+                    f"readiness banner; output: {noise[-5:]!r}")
+            continue
+        chunk = os.read(fd, 65536)
+        if not chunk:
+            proc.wait(timeout=10)
+            raise RuntimeError(
+                f"worker exited with {proc.returncode} before its "
+                f"readiness banner; output: {noise[-5:]!r}")
+        buf += chunk
+
+
+def _register_loop(registry: str, address: str, interval: float,
+                   stop: threading.Event) -> None:
+    """Keep a registration + heartbeat session alive against a registry.
+
+    Reconnects (with the registration re-sent) after any transport error,
+    so a registry restart just re-discovers the worker on the next beat.
+    """
+    addr = parse_host(registry)
+    while not stop.is_set():
+        try:
+            with socket.create_connection(addr, timeout=5.0) as conn:
+                conn.settimeout(10.0)
+                send_msg(conn, {"op": "register", "address": address})
+                if not (recv_msg(conn) or {}).get("ok"):
+                    raise ConnectionError("registration rejected")
+                while not stop.wait(interval):
+                    send_msg(conn, {"op": "heartbeat", "address": address})
+                    reply = recv_msg(conn)
+                    if reply is None or not reply.get("ok"):
+                        raise ConnectionError("heartbeat rejected")
+                if stop.is_set():
+                    send_msg(conn, {"op": "deregister", "address": address})
+                    recv_msg(conn)
+                    return
+        except (OSError, ConnectionError, ValueError):
+            stop.wait(min(interval, 1.0))
 
 
 def main(argv=None) -> None:
@@ -590,15 +880,35 @@ def main(argv=None) -> None:
                         help="TCP port (0 picks a free port, default)")
     parser.add_argument("--cache-size", type=int, default=100_000,
                         help="worker-local evaluation cache entries")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent disk cache directory for this "
+                             "worker's engine (default: REPRO_CACHE_DIR)")
+    parser.add_argument("--register", metavar="HOST:PORT", default=None,
+                        help="announce this worker to a fleet registry and "
+                             "keep a heartbeat alive (see repro.core.fleet)")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        help="seconds between registry heartbeats")
+    parser.add_argument("--advertise", default=None,
+                        help="address to register under (default: the bound "
+                             "host:port — override behind NAT)")
     args = parser.parse_args(argv)
 
-    server = EvalWorkerServer(args.host, args.port, cache_size=args.cache_size)
+    server = EvalWorkerServer(args.host, args.port, cache_size=args.cache_size,
+                              cache_dir=args.cache_dir)
     print(f"repro-eval-worker listening on {server.address} (pid {os.getpid()})",
           flush=True)
+    stop_heartbeat = threading.Event()
+    if args.register:
+        threading.Thread(target=_register_loop,
+                         args=(args.register, args.advertise or server.address,
+                               max(0.05, args.heartbeat), stop_heartbeat),
+                         daemon=True).start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive convenience
         server.close()
+    finally:
+        stop_heartbeat.set()
 
 
 if __name__ == "__main__":

@@ -107,6 +107,7 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
                pipeline_depth: int = 1,
                warm_start=None,
                cache_dir: str | None = None,
+               fleet=None,
                ) -> list[OptimizationHistory]:
     """Run ``n_trials`` independent optimizations with seeds
     ``base_seed, base_seed+1, ...`` (a fresh problem instance per trial).
@@ -126,9 +127,20 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
     simulations, even across processes.  Ignored when ``engine_factory``
     is given — configure the factory's engines instead (or set
     ``REPRO_CACHE_DIR``, which every default-configured engine honors).
+
+    ``fleet`` points every trial at a shared
+    :class:`~repro.core.fleet.FleetCoordinator`: each trial becomes its
+    own tenant (``fleet.engine()`` per trial), so concurrent trials share
+    the worker fleet under the fair scheduler.  Mutually exclusive with
+    ``engine_factory``.  The coordinator lives in *this* process, so
+    parallel trials run on the thread pool rather than forked workers.
     """
     workers = max(1, int(workers))
-    if engine_factory is None and cache_dir:
+    if fleet is not None:
+        if engine_factory is not None:
+            raise ValueError("pass either fleet= or engine_factory=, not both")
+        engine_factory = fleet.engine
+    elif engine_factory is None and cache_dir:
         engine_factory = partial(_cache_engine, os.fspath(cache_dir))
     context = (factory, problem_factory, int(budget), int(base_seed),
                engine_factory, max(1, int(pipeline_depth)), warm_start)
@@ -139,7 +151,8 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
             if verbose:
                 _print_trial(trial, histories[-1])
         return histories
-    histories = _map_trials(context, range(n_trials), min(workers, n_trials))
+    histories = _map_trials(context, range(n_trials), min(workers, n_trials),
+                            force_threads=fleet is not None)
     if verbose:
         # Parallel trials finish out of order; report once all are in.
         for trial, history in enumerate(histories):
@@ -155,15 +168,20 @@ def _print_trial(trial: int, history: OptimizationHistory) -> None:
           f"best_obj={summary['best_feasible_objective']}")
 
 
-def _map_trials(context: tuple, trials, workers: int) -> list[OptimizationHistory]:
+def _map_trials(context: tuple, trials, workers: int, *,
+                force_threads: bool = False) -> list[OptimizationHistory]:
     """Map the trials over the best pool available.
 
     Preference order: fork-based process pool (true parallelism, factories
     inherited without pickling, context bound per-worker by the pool
     initializer) -> thread pool (daemonic/parallel contexts and platforms
     without fork; context passed by partial) -> serial loop.
+    ``force_threads`` skips the fork pool — a fleet coordinator's threads
+    and sockets don't survive fork, so its tenants must dispatch from this
+    process.
     """
-    use_fork = ("fork" in mp.get_all_start_methods()
+    use_fork = (not force_threads
+                and "fork" in mp.get_all_start_methods()
                 and not mp.current_process().daemon)
     if use_fork:
         try:
@@ -191,6 +209,7 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                        pipeline_depth: int = 1,
                        warm_start=None,
                        cache_dir: str | None = None,
+                       fleet=None,
                        ) -> dict[str, list[OptimizationHistory]]:
     """Run every algorithm with the multi-trial protocol.
 
@@ -214,5 +233,6 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                                    workers=workers, verbose=verbose,
                                    engine_factory=engine_factory,
                                    pipeline_depth=pipeline_depth,
-                                   warm_start=warm_start, cache_dir=cache_dir)
+                                   warm_start=warm_start, cache_dir=cache_dir,
+                                   fleet=fleet)
     return results

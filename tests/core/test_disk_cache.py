@@ -79,16 +79,94 @@ def test_torn_tail_is_ignored_not_misread(tmp_path):
 
 
 def test_corrupt_record_stops_shard_scan(tmp_path):
+    # A bad record *followed by more data* is unambiguous corruption (an
+    # in-progress append can only ever be the last thing in a shard): the
+    # scan stops at the damage and never indexes past it.
     with DiskCache(tmp_path) as writer:
         writer.put(b"g" * 16, np.array([1.0]))
         shard = writer._writer_path
     payload = np.array([2.0]).tobytes()
     bad = struct.pack("<16sII", b"c" * 16, len(payload), 12345) + payload
+    good_payload = np.array([3.0]).tobytes()
+    good = struct.pack("<16sII", b"h" * 16, len(good_payload),
+                       zlib.crc32(good_payload)) + good_payload
     with open(shard, "ab") as fh:
-        fh.write(bad)
+        fh.write(bad + good)
     with DiskCache(tmp_path) as reader:
         assert len(reader) == 1
         assert reader.n_corrupt == 1
+        assert reader.get(b"h" * 16) is None  # nothing past the damage
+
+
+def test_tail_crc_mismatch_is_retried_not_corrupt(tmp_path):
+    # The in-progress-append race: a reader observing a non-atomic append
+    # sees a full header with short/garbled payload bytes *at the tail of
+    # the shard*.  That must be treated as a torn tail (re-examined on the
+    # next refresh), not permanent corruption — once the writer's append
+    # completes, the very same offset passes the CRC.
+    with DiskCache(tmp_path) as writer:
+        writer.put(b"g" * 16, np.array([1.0]))
+        shard = writer._writer_path
+    payload = np.array([2.0]).tobytes()
+    record = struct.pack("<16sII", b"t" * 16, len(payload),
+                         zlib.crc32(payload)) + payload
+    with open(shard, "ab") as fh:  # header landed, payload bytes not final
+        fh.write(record[:struct.calcsize("<16sII")] + b"\x00" * len(payload))
+    reader = DiskCache(tmp_path, refresh_interval=0.0)
+    try:
+        assert len(reader) == 1
+        assert reader.get(b"t" * 16) is None
+        assert reader.n_corrupt == 0          # torn tail, not corruption
+        # the append completes: same offset, now-correct bytes
+        with open(shard, "r+b") as fh:
+            fh.seek(-len(payload), os.SEEK_END)
+            fh.write(payload)
+        reader.refresh()
+        np.testing.assert_array_equal(reader.get(b"t" * 16), np.array([2.0]))
+        assert reader.n_corrupt == 0
+    finally:
+        reader.close()
+
+
+def test_put_after_close_is_safe_noop(tmp_path):
+    # Straggler threads may race engine teardown; a put on a closed cache
+    # must report "not stored" instead of raising on the closed writer.
+    cache = DiskCache(tmp_path)
+    assert cache.put(b"a" * 16, np.array([1.0]))
+    cache.close()
+    assert cache.put(b"b" * 16, np.array([2.0])) is False
+    # reads still answer from the in-memory index
+    np.testing.assert_array_equal(cache.get(b"a" * 16), np.array([1.0]))
+    with DiskCache(tmp_path) as reader:
+        assert reader.get(b"b" * 16) is None  # nothing was written
+
+
+def test_compact_merges_shards_and_cli_reports(tmp_path, capsys):
+    from repro.core import diskcache as diskcache_mod
+    a, b = DiskCache(tmp_path), DiskCache(tmp_path)
+    a.put(b"a" * 16, np.array([1.0]))
+    b.put(b"b" * 16, np.array([2.0, 3.0]))
+    b.refresh()
+    b.put(b"a" * 16, np.array([9.0]))  # dedup: refused, 'a' already indexed
+    a.close(), b.close()
+    report = diskcache_mod.compact(tmp_path)
+    assert report["entries"] == 2
+    assert report["shards_before"] == 2 and report["shards_after"] == 1
+    shards = [n for n in os.listdir(tmp_path)
+              if n.startswith("shard-") and n.endswith(".bin")]
+    assert len(shards) == 1
+    with DiskCache(tmp_path) as reader:
+        np.testing.assert_array_equal(reader.get(b"a" * 16), np.array([1.0]))
+        np.testing.assert_array_equal(reader.get(b"b" * 16),
+                                      np.array([2.0, 3.0]))
+    # CLI entry point: stats then compact, both print JSON reports
+    diskcache_mod.main([str(tmp_path)])
+    import json
+    stats = json.loads(capsys.readouterr().out.strip())
+    assert stats["entries"] == 2
+    diskcache_mod.main(["--compact", str(tmp_path)])
+    report2 = json.loads(capsys.readouterr().out.strip())
+    assert report2["entries"] == 2 and report2["shards_before"] == 1
 
 
 # ----------------------------------------------------------------------

@@ -374,3 +374,111 @@ def test_close_cancels_queued_submits_and_gather_raises():
             outcomes.append("cancelled")
     # ...at least the tail of the queue was cancelled, and nothing hung
     assert "cancelled" in outcomes
+
+
+# ----------------------------------------------------------------------
+# blocking batch vs. pipelined submit: one simulation per design
+# ----------------------------------------------------------------------
+def test_blocking_batch_waits_for_inflight_submit_not_resimulates():
+    # evaluate_batch used to skip the in-flight registry entirely, so a
+    # blocking batch racing a pipelined submit() of the same designs
+    # simulated them twice (and the late result clobbered the cache).
+    import threading
+
+    class GatedSphere(Sphere):
+        def __init__(self, dim=2):
+            super().__init__(dim)
+            self.calls = 0
+            self.gate = threading.Event()
+
+        def _evaluate(self, x):
+            self.calls += 1
+            self.gate.wait(10.0)
+            return super()._evaluate(x)
+
+    problem = GatedSphere(2)
+    X = problem.space.sample(np.random.default_rng(3), 3)
+    engine = EvalEngine("serial")
+    handle = engine.submit(problem, X)  # keys go in flight synchronously
+    done = threading.Event()
+    result = {}
+
+    def blocking():
+        result["F"] = engine.evaluate_batch(problem, X)
+        done.set()
+
+    thread = threading.Thread(target=blocking)
+    thread.start()
+    assert not done.wait(0.3)  # parked on the submit's future, not simulating
+    problem.gate.set()
+    thread.join(30)
+    assert done.is_set()
+    np.testing.assert_array_equal(result["F"], engine.gather(handle))
+    assert problem.calls == len(X)       # every design simulated exactly once
+    assert engine.n_sim_calls == len(X)
+    assert engine.n_dedup >= len(X)      # the blocking batch counted as dedup
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# clear_cache(): locked, and scoped to the RAM tier only
+# ----------------------------------------------------------------------
+def test_clear_cache_drops_ram_tier_but_keeps_disk_tier(tmp_path):
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(1), 6)
+    with EvalEngine(cache_dir=tmp_path) as engine:
+        engine.evaluate_batch(problem, X)
+        assert engine.n_sim_calls == 6
+        engine.clear_cache()
+        engine.evaluate_batch(problem, X)
+        assert engine.n_sim_calls == 6   # no re-simulation...
+        assert engine.n_disk_hits == 6   # ...the persistent tier answered
+
+
+def test_clear_cache_is_safe_under_concurrent_submits():
+    # clear_cache() used to mutate the cache dict without _state_lock,
+    # racing the submit-pool threads' read/write cycles.
+    import threading
+
+    problem = Sphere(2)
+    engine = EvalEngine("serial")
+    rng = np.random.default_rng(0)
+    errors = []
+    stop = threading.Event()
+
+    def clearer():
+        while not stop.is_set():
+            try:
+                engine.clear_cache()
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=clearer)
+    thread.start()
+    try:
+        for _ in range(40):
+            handle = engine.submit(problem, problem.space.sample(rng, 4))
+            engine.gather(handle)
+    finally:
+        stop.set()
+        thread.join(10)
+        engine.close()
+    assert not errors
+
+
+# ----------------------------------------------------------------------
+# straggler write-back after close(): no-op, never a crash
+# ----------------------------------------------------------------------
+def test_cache_put_after_close_is_noop(tmp_path):
+    # A dispatch thread finishing after close() lands its rows in
+    # _cache_put; with a disk tier that used to raise "I/O operation on
+    # closed file" from the closed shard writer.
+    problem = Sphere(2)
+    X = problem.space.sample(np.random.default_rng(0), 2)
+    engine = EvalEngine(cache_dir=tmp_path)
+    engine.evaluate_batch(problem, X)
+    token = engine._problem_token(problem)
+    key = engine._key(token, problem.space.canonical(X)[0])
+    engine.close()
+    engine._cache_put(key, np.array([1.0, 2.0]), True)  # must not raise

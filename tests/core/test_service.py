@@ -366,6 +366,12 @@ class _FlakyWorker:
                 pass
 
     def _session(self, conn):
+        def reply(msg, payload):
+            # protocol v2: replies to id-carrying requests echo the id
+            if msg.get("id") is not None:
+                payload = {**payload, "id": msg["id"]}
+            service.send_msg(conn, payload)
+
         try:
             while not self._stop.is_set():
                 msg = service.recv_msg(conn)
@@ -373,11 +379,11 @@ class _FlakyWorker:
                     return
                 op = msg.get("op")
                 if op == "hello":
-                    service.send_msg(conn, {"ok": True,
-                                            "protocol": service.PROTOCOL_VERSION,
-                                            "pid": 0, "problems": 0})
+                    reply(msg, {"ok": True,
+                                "protocol": service.PROTOCOL_VERSION,
+                                "pid": 0, "problems": 0})
                 elif op == "put_problem":
-                    service.send_msg(conn, {"ok": True})
+                    reply(msg, {"ok": True})
                 elif op == "eval":
                     self.eval_requests += 1
                     if self.behavior == "die":
@@ -450,3 +456,148 @@ def test_closed_dispatcher_refuses_new_work():
     dispatcher.close()
     with pytest.raises(service.ServiceError, match="closed"):
         dispatcher._connection(("127.0.0.1", 1))
+
+
+# ----------------------------------------------------------------------
+# protocol v2: multiplexing, v1 compat, spawn robustness
+# ----------------------------------------------------------------------
+def test_spawn_local_worker_survives_startup_noise(monkeypatch):
+    # Interpreter chatter on the merged stderr/stdout stream used to eat
+    # the readiness banner (only the first line was ever read), so healthy
+    # workers were killed at startup.  The banner is now scanned for.
+    monkeypatch.setenv("PYTHONVERBOSE", "1")  # floods the stream pre-banner
+    proc, host = service.spawn_local_worker()
+    try:
+        with socket.create_connection(service.parse_host(host),
+                                      timeout=10) as conn:
+            assert _roundtrip(conn, {"op": "hello"})["ok"]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+def test_v2_connection_answers_stats_while_eval_in_flight(local_server):
+    # Connection multiplexing: a second request on the same connection is
+    # answered while a slow eval is still running — no head-of-line block.
+    import base64
+    import pickle
+    import time as _time
+
+    from repro.problems import LatencyProblem
+
+    problem = LatencyProblem(Sphere(2), 0.4)
+    conn = service.MultiplexedConnection((local_server.host, local_server.port))
+    try:
+        assert conn.protocol == service.PROTOCOL_VERSION
+        assert conn.multiplexed
+        engine = EvalEngine()
+        token = engine._problem_token(problem).hex()
+        engine.close()
+        blob = base64.b64encode(pickle.dumps(problem)).decode("ascii")
+        assert conn.request({"op": "put_problem", "token": token,
+                             "blob": blob})["ok"]
+        X = problem.space.sample(np.random.default_rng(0), 2)  # ~0.8 s serial
+        result = {}
+
+        def evaluate():
+            result["reply"] = conn.request(
+                {"op": "eval", "token": token, "X": X.tolist()})
+
+        thread = threading.Thread(target=evaluate)
+        thread.start()
+        _time.sleep(0.15)                    # the eval frame is in flight
+        t0 = _time.perf_counter()
+        stats = conn.request({"op": "stats"})
+        waited = _time.perf_counter() - t0
+        thread.join(30)
+        assert stats["ok"] and result["reply"]["ok"]
+        # a v1-serialized connection would have waited ~0.65 s here
+        assert waited < 0.4
+    finally:
+        conn.close()
+
+
+class _V1Worker:
+    """A strict protocol-1 shard: id-less frames, in-order replies."""
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._problems = {}
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        self._listener.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._session, args=(conn,),
+                             daemon=True).start()
+
+    def _session(self, conn):
+        import base64
+        import pickle
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    msg = service.recv_msg(conn)
+                except (ConnectionError, OSError, ValueError):
+                    return
+                if msg is None:
+                    return
+                op = msg.get("op")
+                if op == "hello":
+                    reply = {"ok": True, "protocol": 1}
+                elif op == "put_problem":
+                    self._problems[msg["token"]] = pickle.loads(
+                        base64.b64decode(msg["blob"]))
+                    reply = {"ok": True}
+                elif op == "eval":
+                    problem = self._problems.get(msg["token"])
+                    if problem is None:
+                        reply = {"ok": False, "need_problem": True,
+                                 "error": "unknown token"}
+                    else:
+                        F = [np.asarray(problem.evaluate(np.asarray(x)),
+                                        dtype=np.float64).tolist()
+                             for x in msg["X"]]
+                        reply = {"ok": True, "F": F, "counters": {},
+                                 "n_sims": len(F)}
+                else:
+                    reply = {"ok": False, "error": "unknown op"}
+                # protocol 1: never echo an id, reply strictly in order
+                try:
+                    service.send_msg(conn, reply)
+                except OSError:
+                    return
+
+    def close(self):
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def test_v1_worker_compat_handshake_and_dispatch():
+    # A v2 coordinator against a protocol-1 shard drops to serialized
+    # request/reply at the hello handshake and still evaluates correctly.
+    worker = _V1Worker()
+    try:
+        conn = service.MultiplexedConnection(service.parse_host(worker.address))
+        assert conn.protocol == 1
+        assert not conn.multiplexed
+        conn.close()
+        problem = Sphere(3)
+        X = problem.space.sample(np.random.default_rng(2), 7)
+        with EvalEngine("remote", hosts=[worker.address]) as engine:
+            np.testing.assert_array_equal(engine.evaluate_batch(problem, X),
+                                          problem.evaluate_batch(X))
+    finally:
+        worker.close()
