@@ -25,6 +25,10 @@ __all__ = [
     "FleetCoordinator",
     "RegistryServer",
     "ServiceError",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosProxy",
     "Study",
     "WorkerRegistry",
     "WarmStart",
@@ -40,13 +44,16 @@ def __getattr__(name):
     # repro.core.diskcache`` must not find those modules pre-imported by
     # this package init (runpy would warn and run a second copy), so the
     # service/fleet surface resolves on first touch instead.
-    if name == "ServiceError":
-        from .service import ServiceError
-        return ServiceError
+    if name in ("ServiceError", "DeadlineExceeded"):
+        from . import service
+        return getattr(service, name)
     if name == "DiskCache":
         from .diskcache import DiskCache
         return DiskCache
     if name in ("FleetCoordinator", "RegistryServer", "WorkerRegistry"):
         from . import fleet
         return getattr(fleet, name)
+    if name in ("FaultPlan", "FaultSpec", "ChaosProxy"):
+        from . import chaos
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

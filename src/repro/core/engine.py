@@ -89,6 +89,11 @@ HOSTS_ENV = "REPRO_SERVICE_HOSTS"
 #: env var naming a default on-disk cache directory (``cache_dir=``)
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: env var setting a default per-design remote eval deadline in seconds
+#: (``chunk_timeout=``): a chunk of n designs must be answered within
+#: chunk_timeout * n seconds or its host counts as hung.
+CHUNK_TIMEOUT_ENV = "REPRO_CHUNK_TIMEOUT"
+
 
 def _spice_counters():
     """The simulator's process-global counters (None when spice is absent)."""
@@ -190,6 +195,20 @@ class EvalEngine:
         a standard engine whose misses flow through the shared fleet
         scheduler; closing the engine closes (detaches) only the injected
         dispatcher, never the fleet behind it.
+    chunk_timeout:
+        Per-design deadline (seconds) for the ``remote`` backend: a chunk
+        of ``n`` designs must be answered within ``chunk_timeout * n``
+        seconds or the worker is treated as hung — a retryable transport
+        failure under the bounded failover budget, surfacing as
+        :class:`~repro.core.service.ServiceError` (never an indefinite
+        hang) once every host is exhausted.  ``None`` (default) reads the
+        ``REPRO_CHUNK_TIMEOUT`` environment variable; unset means no
+        deadline (simulations may legitimately take minutes).
+    degraded:
+        ``"local"`` opts the ``remote`` backend into graceful degradation:
+        with zero live workers, missing rows are evaluated in-process
+        (logged and counted) instead of raising.  Default ``None`` keeps
+        the strict fail-fast behaviour.
 
     The engine is reusable across batches and across optimizers sharing one
     problem; :meth:`close` (or use as a context manager) releases the pool
@@ -198,7 +217,8 @@ class EvalEngine:
 
     def __init__(self, backend: str = "serial", *, workers: int | None = None,
                  cache_size: int = 100_000, cache_dir=None, hosts=None,
-                 dispatcher=None):
+                 dispatcher=None, chunk_timeout: float | None = None,
+                 degraded: str | None = None):
         if dispatcher is not None:
             backend = "remote"
         if backend not in BACKENDS:
@@ -207,6 +227,8 @@ class EvalEngine:
             raise ValueError("workers must be >= 1")
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if degraded not in (None, "local"):
+            raise ValueError(f"degraded must be None or 'local', got {degraded!r}")
         if hosts is None:
             hosts = [h.strip() for h in os.environ.get(HOSTS_ENV, "").split(",")
                      if h.strip()]
@@ -214,6 +236,13 @@ class EvalEngine:
         if backend == "remote" and not self.hosts and dispatcher is None:
             raise ValueError(
                 f"remote backend needs hosts=['host:port', ...] or {HOSTS_ENV}")
+        if chunk_timeout is None:
+            env = os.environ.get(CHUNK_TIMEOUT_ENV, "").strip()
+            chunk_timeout = float(env) if env else None
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be > 0 seconds")
+        self.chunk_timeout = chunk_timeout
+        self.degraded = degraded
         self.backend = backend
         self.workers = int(workers) if workers is not None else default_workers()
         self.cache_size = int(cache_size)
@@ -719,7 +748,9 @@ class EvalEngine:
                 if self._closed:
                     raise RuntimeError("EvalEngine is closed")
                 from .service import RemoteDispatcher
-                self._remote = RemoteDispatcher(self.hosts)
+                self._remote = RemoteDispatcher(self.hosts,
+                                                chunk_timeout=self.chunk_timeout,
+                                                degraded=self.degraded)
             return self._remote
 
     # -- hot-path reporting ------------------------------------------------

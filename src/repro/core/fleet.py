@@ -39,6 +39,19 @@ worker's own *rejection* of a well-formed request (the evaluation raised)
 aborts only the affected dispatch — deterministic failures are never
 retried onto other shards.
 
+On top of that contract this module hardens the failure domain:
+``chunk_timeout`` arms a per-chunk deadline (a worker that accepts a chunk
+and never replies is a retryable transport failure, not a hang);
+``hedge_factor`` re-dispatches straggling chunks speculatively to another
+host (first reply wins, duplicates discarded — harmless because evals are
+deterministic and cache-deduped); failed hosts are quarantined under
+capped exponential backoff with deterministic jitter instead of a fixed
+retry-after; and a tenant created with ``degraded="local"`` falls back to
+bounded in-process evaluation when the fleet has zero live workers for
+``degraded_after`` seconds.  All recovery paths preserve the bit-identity
+contract below and are pinned under seeded fault injection by
+:mod:`repro.core.chaos` (``tests/core/test_chaos.py``).
+
 Typical wiring::
 
     fleet = FleetCoordinator()           # own registry
@@ -59,6 +72,7 @@ scheduling, host churn, or what the other tenants are doing — pinned by
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import weakref
@@ -68,10 +82,12 @@ from itertools import count
 import numpy as np
 
 from .service import (PROTOCOL_VERSION, MultiplexedConnection, RemoteDispatcher,
-                      ServiceError, _chunk_ranges, parse_host, recv_msg,
-                      send_msg)
+                      ServiceError, _chunk_ranges, backoff_delay, parse_host,
+                      recv_msg, send_msg)
 
 __all__ = ["WorkerRegistry", "RegistryServer", "FleetCoordinator"]
+
+_log = logging.getLogger("repro.core.fleet")
 
 _EvalRejected = RemoteDispatcher._EvalRejected
 
@@ -280,9 +296,18 @@ class _DispatchState:
 
 
 class _Job:
-    """One chunk of one tenant's dispatch, as queued for the fleet."""
+    """One chunk of one tenant's dispatch, as queued for the fleet.
 
-    __slots__ = ("tenant", "state", "start", "stop", "requeues", "trail")
+    A job may be *speculatively duplicated* by the hedge sweep: the same
+    object is queued again and picked by a second host, ``inflight`` counts
+    the live copies, and ``completed`` makes completion first-wins — the
+    losing copy's reply (or failure) is discarded, never double-written.
+    All hedge/duplicate fields are guarded by the coordinator's lock.
+    """
+
+    __slots__ = ("tenant", "state", "start", "stop", "requeues", "trail",
+                 "hosts", "started", "inflight", "completed", "hedged",
+                 "hedge_pending")
 
     def __init__(self, tenant: str, state: _DispatchState, start: int,
                  stop: int):
@@ -292,6 +317,12 @@ class _Job:
         self.stop = stop
         self.requeues = 0
         self.trail: list[str] = []  # per-host failure history
+        self.hosts: set[str] = set()   # addresses that picked this job
+        self.started: float | None = None  # monotonic ts of first pick
+        self.inflight = 0              # copies currently on some worker
+        self.completed = False         # first reply already written back
+        self.hedged = False            # a speculative copy was issued
+        self.hedge_pending = False     # speculative copy queued, not picked
 
 
 class _Tenant:
@@ -299,15 +330,15 @@ class _Tenant:
 
     __slots__ = ("name", "priority", "credit", "queue", "closed", "inflight",
                  "n_dispatches", "n_chunks", "n_designs", "worker_sims",
-                 "t_first", "t_last", "engine_ref")
+                 "t_first", "t_last", "engine_ref", "degraded", "n_degraded")
 
-    def __init__(self, name: str, priority: float):
+    def __init__(self, name: str, priority: float, degraded: str | None = None):
         self.name = name
         self.priority = priority
         self.credit = 0.0
         self.queue: deque[_Job] = deque()
         self.closed = False
-        self.inflight = 0      # chunks currently on some worker
+        self.inflight = 0      # chunk copies currently on some worker
         self.n_dispatches = 0
         self.n_chunks = 0
         self.n_designs = 0     # designs entering the fleet (post engine-cache)
@@ -315,6 +346,8 @@ class _Tenant:
         self.t_first: float | None = None
         self.t_last: float | None = None
         self.engine_ref = None
+        self.degraded = degraded   # "local" opts into zero-worker fallback
+        self.n_degraded = 0        # designs evaluated by that fallback
 
 
 class _TenantDispatcher:
@@ -387,7 +420,7 @@ class _HostPump:
             coord._pump_failed(self, exc)
             return
         while not self.stop.is_set():
-            job = coord._next_job(self.stop)
+            job = coord._next_job(self.stop, self.address)
             if job is None:
                 return
             try:
@@ -411,8 +444,11 @@ class _HostPump:
             self._ship(conn, state)
         request = {"op": "eval", "token": state.token_hex,
                    "X": state.X[job.start:job.stop].tolist()}
+        chunk_timeout = self.coordinator.chunk_timeout
+        deadline = (None if chunk_timeout is None
+                    else chunk_timeout * max(1, job.stop - job.start))
         for attempt in (0, 1):
-            reply = conn.request(request)
+            reply = conn.request(request, timeout=deadline)
             if reply.get("ok"):
                 return reply
             if reply.get("need_problem") and attempt == 0:
@@ -424,8 +460,11 @@ class _HostPump:
         raise ConnectionError("unreachable")  # pragma: no cover
 
     def _ship(self, conn: MultiplexedConnection, state: _DispatchState) -> None:
+        chunk_timeout = self.coordinator.chunk_timeout
+        timeout = (None if chunk_timeout is None
+                   else max(self.coordinator.connect_timeout, chunk_timeout))
         reply = conn.request({"op": "put_problem", "token": state.token_hex,
-                              "blob": state.blob()})
+                              "blob": state.blob()}, timeout=timeout)
         if not reply.get("ok"):
             raise _EvalRejected(
                 f"put_problem rejected: {reply.get('error', reply)}")
@@ -461,6 +500,31 @@ class FleetCoordinator:
         :class:`ServiceError`.
     connect_timeout:
         TCP connect timeout towards workers.
+    chunk_timeout:
+        Per-design eval deadline in seconds (a chunk of ``n`` designs must
+        be answered within ``chunk_timeout * n`` seconds).  A worker that
+        accepts a chunk and never replies then counts as a retryable
+        transport failure — dropped, quarantined, its chunk re-queued under
+        the bounded budget — instead of hanging the dispatch.  ``None``
+        (default) means no deadline.
+    hedge_factor:
+        Straggler threshold multiplier: once at least
+        ``HEDGE_MIN_SAMPLES`` chunk latencies have been observed, a chunk
+        in flight for longer than ``max(hedge_min_s, hedge_factor * p50)``
+        is speculatively re-queued for a *different* host (at most once per
+        chunk, and only when the fleet has spare slots).  First reply wins;
+        the loser is discarded by the job's completion flag (the wire layer
+        already discards late replies by request id).  Safe because evals
+        are deterministic and cache-deduped — histories stay bit-identical.
+        ``None`` (default) disables hedging.
+    hedge_min_s:
+        Floor for the straggler threshold, so sub-millisecond p50s don't
+        hedge every scheduling hiccup (default 0.25 s).
+    degraded_after:
+        Seconds a dispatch from a ``degraded="local"`` tenant may sit with
+        *zero* live workers before its queued chunks are evaluated
+        in-process (default 2.0 s).  Tenants opt in per engine:
+        ``fleet.engine(name, degraded="local")``.
 
     Tenants are created with :meth:`engine`; scheduling is weighted deficit
     round-robin at chunk granularity (see module docstring).  The
@@ -469,11 +533,25 @@ class FleetCoordinator:
     server's ``stats`` op.
     """
 
+    #: completed-chunk latencies required before hedging arms itself.
+    HEDGE_MIN_SAMPLES = 5
+
+    #: cap (seconds) on the exponential quarantine backoff of a failed host.
+    QUARANTINE_CAP_S = 30.0
+
     def __init__(self, *, registry: WorkerRegistry | None = None, hosts=(),
                  heartbeat_timeout: float = 10.0, slots_per_host: int = 2,
                  poll_interval: float = 0.2,
                  max_chunk_requeues: int | None = None,
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0,
+                 chunk_timeout: float | None = None,
+                 hedge_factor: float | None = None,
+                 hedge_min_s: float = 0.25,
+                 degraded_after: float = 2.0):
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be > 0 seconds")
+        if hedge_factor is not None and hedge_factor <= 1.0:
+            raise ValueError("hedge_factor must be > 1.0")
         self.registry = registry or WorkerRegistry(timeout=heartbeat_timeout)
         for host in hosts:
             self.registry.register(host, static=True)
@@ -481,16 +559,28 @@ class FleetCoordinator:
         self.poll_interval = max(0.02, float(poll_interval))
         self.max_chunk_requeues = max_chunk_requeues
         self.connect_timeout = float(connect_timeout)
+        self.chunk_timeout = (None if chunk_timeout is None
+                              else float(chunk_timeout))
+        self.hedge_factor = (None if hedge_factor is None
+                             else float(hedge_factor))
+        self.hedge_min_s = float(hedge_min_s)
+        self.degraded_after = max(0.0, float(degraded_after))
         self._cond = threading.Condition()
         self._tenants: dict[str, _Tenant] = {}
         self._order: list[str] = []   # round-robin ring (stable across churn)
         self._rr = -1
         self._pumps: dict[str, _HostPump] = {}
         self._quarantine: dict[str, float] = {}  # failed host -> retry-after
+        self._failures: dict[str, int] = {}      # consecutive failure count
+        self._running: set[_Job] = set()         # jobs on some worker now
+        self._latencies: deque[float] = deque(maxlen=512)  # completed chunks
         self._ids = count(1)
         self._closed = False
         self._server: RegistryServer | None = None
         self.n_requeues = 0
+        self.n_hedges = 0          # speculative duplicates issued
+        self.n_hedge_discards = 0  # losing copies discarded (first reply won)
+        self.n_degraded = 0        # designs answered by degraded-local fallback
         self._sync_pumps()  # static hosts get pumps before the first dispatch
         self._watcher = threading.Thread(target=self._watch,
                                          name="fleet-watcher", daemon=True)
@@ -515,17 +605,22 @@ class FleetCoordinator:
         self.registry.register(address, static=True)
 
     def engine(self, tenant: str | None = None, *, priority: float = 1.0,
-               **engine_kwargs):
+               degraded: str | None = None, **engine_kwargs):
         """A standard :class:`~repro.core.engine.EvalEngine` whose misses are
         scheduled on the fleet under ``tenant``'s fair-share ``priority``.
 
         The engine owns its own cache tiers (``cache_size``/``cache_dir``
         and friends pass through), so per-tenant hit-rates stay separable;
         closing it detaches the tenant without touching the fleet.
+        ``degraded="local"`` opts this tenant into the zero-worker fallback:
+        a dispatch stuck ``degraded_after`` seconds with no live workers is
+        evaluated in-process (logged, counted) instead of waiting forever.
         """
         from .engine import EvalEngine
         if priority <= 0:
             raise ValueError("priority must be > 0")
+        if degraded not in (None, "local"):
+            raise ValueError(f"degraded must be None or 'local', got {degraded!r}")
         with self._cond:
             if self._closed:
                 raise ServiceError("fleet coordinator is closed")
@@ -533,7 +628,7 @@ class FleetCoordinator:
             existing = self._tenants.get(name)
             if existing is not None and not existing.closed:
                 raise ValueError(f"tenant {name!r} is already attached")
-            record = _Tenant(name, float(priority))
+            record = _Tenant(name, float(priority), degraded)
             self._tenants[name] = record
             if name not in self._order:
                 self._order.append(name)
@@ -564,6 +659,8 @@ class FleetCoordinator:
                     "sims_per_sec": (round(record.worker_sims / elapsed, 3)
                                      if elapsed and elapsed > 0 else 0.0),
                     "closed": record.closed,
+                    "degraded": record.degraded,
+                    "degraded_designs": record.n_degraded,
                 }
                 if engine is not None:
                     hits = engine.n_cache_hits
@@ -580,12 +677,26 @@ class FleetCoordinator:
                        for address, pump in self._pumps.items()}
             queue_depth = sum(len(t.queue) for t in self._tenants.values())
             inflight = sum(t.inflight for t in self._tenants.values())
+            latencies = sorted(self._latencies)
+        latency = {"n": len(latencies)}
+        if latencies:
+            latency["p50"] = round(float(np.percentile(latencies, 50)), 6)
+            latency["p99"] = round(float(np.percentile(latencies, 99)), 6)
         return {"queue_depth": queue_depth, "inflight_chunks": inflight,
                 "n_workers": len(workers), "workers": workers,
                 "tenants": tenants, "requeues": self.n_requeues,
+                "hedges": self.n_hedges,
+                "hedge_discards": self.n_hedge_discards,
+                "degraded_designs": self.n_degraded,
+                "chunk_latency": latency,
                 "registry": {"live": self.registry.live(),
                              "joins": self.registry.n_joins,
                              "ageouts": self.registry.n_drops}}
+
+    def chunk_latencies(self) -> list[float]:
+        """Recent completed-chunk wall latencies (first pick → first reply)."""
+        with self._cond:
+            return list(self._latencies)
 
     def close(self) -> None:
         """Stop pumps and watcher; abort queued/in-flight dispatches."""
@@ -641,13 +752,65 @@ class FleetCoordinator:
             self._cond.notify_all()
         # Elastic by design: with zero live workers the chunks wait for one
         # to register; close() (or a requeue-budget blowout) aborts them.
+        # A degraded="local" tenant additionally falls back to bounded
+        # in-process evaluation once no worker has shown up (or survived)
+        # for ``degraded_after`` seconds.
+        idle_since: float | None = None
         while not state.event.wait(0.1):
             if self._closed:
                 state.abort("fleet coordinator closed")
+                continue
+            if record.degraded != "local":
+                continue
+            with self._cond:
+                have_workers = bool(self._pumps)
+            if have_workers:
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since >= self.degraded_after:
+                self._degrade_locally(record, state)
         if state.error is not None:
             raise ServiceError(state.error)
         rows = np.vstack(state.out)
         return rows, dict(state.counters), state.n_sims
+
+    def _degrade_locally(self, record: _Tenant, state: _DispatchState) -> None:
+        """Evaluate this dispatch's *queued* chunks in-process (fallback).
+
+        Only chunks still in the tenant queue are taken — anything in
+        flight keeps its normal completion/failover path, and the wait loop
+        sweeps again 0.1 s later for chunks a dying pump requeued.  Rows
+        come from the same deterministic ``problem.evaluate`` a worker's
+        serial engine would have run, so histories stay bit-identical.
+        """
+        with self._cond:
+            if self._pumps or self._closed:
+                return  # a worker joined after all — let it serve
+            taken = [job for job in record.queue if job.state is state]
+            if not taken:
+                return
+            record.queue = deque(job for job in record.queue
+                                 if job.state is not state)
+        n_designs = sum(job.stop - job.start for job in taken)
+        _log.warning(
+            "fleet degraded to local evaluation for tenant %r: %d design(s) "
+            "in %d chunk(s), no live workers for %.1fs",
+            record.name, n_designs, len(taken), self.degraded_after)
+        for job in taken:
+            if job.state.aborted() or job.completed:
+                continue
+            rows = [np.asarray(state.problem.evaluate(x), dtype=np.float64)
+                    for x in state.X[job.start:job.stop]]
+            with self._cond:
+                job.completed = True
+                record.n_degraded += len(rows)
+                self.n_degraded += len(rows)
+                record.worker_sims += len(rows)
+                record.t_last = time.monotonic()
+            state.complete(job.start, job.stop, rows, {}, len(rows))
 
     def _detach(self, tenant: str) -> None:
         with self._cond:
@@ -661,18 +824,19 @@ class FleetCoordinator:
             job.state.abort(f"tenant {tenant!r} engine closed mid-dispatch")
 
     # -- scheduler ---------------------------------------------------------
-    def _next_job(self, stop: threading.Event) -> _Job | None:
+    def _next_job(self, stop: threading.Event,
+                  address: str | None = None) -> _Job | None:
         """Block until a chunk is scheduled for this pump (or it stops)."""
         with self._cond:
             while True:
                 if self._closed or stop.is_set():
                     return None
-                job = self._pick_locked()
+                job = self._pick_locked(address)
                 if job is not None:
                     return job
                 self._cond.wait(0.1)
 
-    def _pick_locked(self) -> _Job | None:
+    def _pick_locked(self, address: str | None = None) -> _Job | None:
         """Weighted deficit round-robin over the queued tenants.
 
         Serving a chunk costs one credit; when no queued tenant can afford
@@ -680,7 +844,14 @@ class FleetCoordinator:
         so over time tenant A receives ``priority_A / priority_B`` times
         tenant B's chunks, and a tenant with *any* queue always gets a
         turn within one ring cycle (starvation-free).
+
+        A *speculative* copy (hedge) is deferred when the asking pump's
+        ``address`` already ran the original — hedging only pays when the
+        duplicate lands on a different host — unless this host is the only
+        one alive.  Deferrals are bounded by the total queue length, so a
+        pump that can serve nothing simply waits instead of spinning.
         """
+        deferred = 0
         while True:
             ready = [name for name in self._order
                      if self._tenants[name].queue]
@@ -704,9 +875,29 @@ class FleetCoordinator:
                 return None
             picked.credit -= 1.0
             job = picked.queue.popleft()
-            if job.state.aborted():
+            if job.state.aborted() or job.completed:
                 picked.credit += 1.0  # discarded, not served
+                if job.completed and job.hedge_pending:
+                    # speculative copy answered before it was even picked
+                    self.n_hedge_discards += 1
+                job.hedge_pending = False
                 continue
+            if (job.hedge_pending and address is not None
+                    and address in job.hosts and len(self._pumps) > 1):
+                picked.queue.append(job)
+                picked.credit += 1.0
+                deferred += 1
+                if deferred >= sum(len(t.queue)
+                                   for t in self._tenants.values()):
+                    return None
+                continue
+            job.hedge_pending = False
+            if address is not None:
+                job.hosts.add(address)
+            if job.started is None:
+                job.started = time.monotonic()
+            job.inflight += 1
+            self._running.add(job)
             picked.n_chunks += 1
             picked.inflight += 1
             return job
@@ -715,16 +906,32 @@ class FleetCoordinator:
     def _job_done(self, pump: _HostPump, job: _Job, reply: dict) -> None:
         rows = reply["F"]
         n_sims = int(reply.get("n_sims", len(rows)))
-        job.state.complete(job.start, job.stop, rows,
-                           reply.get("counters", {}), n_sims)
+        now = time.monotonic()
         with self._cond:
+            first = not job.completed
+            job.completed = True
+            job.inflight -= 1
+            if job.inflight <= 0:
+                self._running.discard(job)
             record = self._tenants.get(job.tenant)
             if record is not None:
                 record.inflight -= 1
-                record.worker_sims += n_sims
-                record.t_last = time.monotonic()
+                record.t_last = now
+                if first:
+                    record.worker_sims += n_sims
             pump.n_chunks += 1
             pump.n_sims += n_sims
+            if first:
+                if job.started is not None:
+                    self._latencies.append(now - job.started)
+                self._failures.pop(pump.address, None)  # host is healthy
+            else:
+                # A hedge twin (or a late original) already wrote the rows:
+                # discard this reply.  Determinism makes both bit-identical.
+                self.n_hedge_discards += 1
+        if first:
+            job.state.complete(job.start, job.stop, rows,
+                               reply.get("counters", {}), n_sims)
 
     def _job_failed(self, pump: _HostPump, job: _Job, message: str, *,
                     fatal: bool) -> None:
@@ -732,13 +939,23 @@ class FleetCoordinator:
             record = self._tenants.get(job.tenant)
             if record is not None:
                 record.inflight -= 1
+            job.inflight -= 1
+            if job.inflight <= 0 and not job.hedge_pending:
+                self._running.discard(job)
+            if job.completed:
+                return  # a speculative twin already answered this chunk
             if fatal or job.state.aborted():
                 if fatal:
                     job.state.abort(message)
+                self._running.discard(job)
                 return
             job.requeues += 1
             job.trail.append(message)
             self.n_requeues += 1
+            if job.inflight > 0 or job.hedge_pending:
+                # A twin copy is still running (or queued): it owns the
+                # chunk now.  If it fails too, *its* _job_failed requeues.
+                return
             budget = (self.max_chunk_requeues
                       if self.max_chunk_requeues is not None
                       else 2 * max(1, len(self._pumps)))
@@ -757,25 +974,74 @@ class FleetCoordinator:
     def _pump_failed(self, pump: _HostPump, exc: Exception) -> None:
         """Drop a host after a transport failure (idempotent).
 
-        The address is quarantined briefly and deregistered: a *live*
-        heartbeating worker re-registers itself on its next beat, while a
-        genuinely dead one stays gone.  Static hosts need
-        :meth:`add_host` to come back.
+        The address is quarantined under capped exponential backoff with
+        deterministic jitter — consecutive failures double the retry-after
+        (up to :attr:`QUARANTINE_CAP_S`), a success resets it — and
+        deregistered: a *live* heartbeating worker re-registers itself on
+        its next beat, while a genuinely dead one stays gone.  Static hosts
+        need :meth:`add_host` to come back.
         """
         with self._cond:
             if self._pumps.get(pump.address) is pump:
                 del self._pumps[pump.address]
+            attempt = self._failures.get(pump.address, 0)
+            self._failures[pump.address] = attempt + 1
             self._quarantine[pump.address] = (
-                time.monotonic() + 2 * self.poll_interval)
+                time.monotonic() + backoff_delay(
+                    attempt, base=2 * self.poll_interval,
+                    cap=self.QUARANTINE_CAP_S, key=pump.address))
             self._cond.notify_all()
         pump.close()
         self.registry.deregister(pump.address)
+
+    # -- hedged re-dispatch ------------------------------------------------
+    def _hedge_sweep(self) -> None:
+        """Speculatively re-queue straggling in-flight chunks (at most once
+        each) for a different host — first reply wins, the loser is
+        discarded by the job's completion flag."""
+        if self.hedge_factor is None:
+            return
+        now = time.monotonic()
+        with self._cond:
+            if len(self._pumps) < 2:
+                return  # nowhere different to send a duplicate
+            if len(self._latencies) < self.HEDGE_MIN_SAMPLES:
+                return
+            p50 = float(np.percentile(self._latencies, 50))
+            threshold = max(self.hedge_min_s, self.hedge_factor * p50)
+            # Only burn *spare* capacity on speculation: never let hedges
+            # displace first-copy work already queued.
+            capacity = len(self._pumps) * self.slots_per_host
+            backlog = sum(t.inflight + len(t.queue)
+                          for t in self._tenants.values())
+            spare = capacity - backlog
+            hedged_any = False
+            for job in list(self._running):
+                if spare <= 0:
+                    break
+                if (job.completed or job.hedged or job.started is None
+                        or job.state.aborted()):
+                    continue
+                if now - job.started < threshold:
+                    continue
+                record = self._tenants.get(job.tenant)
+                if record is None or record.closed:
+                    continue
+                job.hedged = True
+                job.hedge_pending = True
+                record.queue.appendleft(job)
+                self.n_hedges += 1
+                spare -= 1
+                hedged_any = True
+            if hedged_any:
+                self._cond.notify_all()
 
     # -- registry watcher --------------------------------------------------
     def _watch(self) -> None:
         while not self._closed:
             try:
                 self._sync_pumps()
+                self._hedge_sweep()
             except Exception:  # pragma: no cover - watcher must survive
                 pass
             time.sleep(self.poll_interval)

@@ -95,6 +95,7 @@ import argparse
 import asyncio
 import base64
 import json
+import logging
 import os
 import pickle
 import select
@@ -102,10 +103,11 @@ import socket
 import struct
 import threading
 import time
+import zlib
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from itertools import count
-from queue import SimpleQueue
+from queue import Empty, SimpleQueue
 
 import numpy as np
 
@@ -118,12 +120,16 @@ __all__ = [
     "RemoteDispatcher",
     "EvalWorkerServer",
     "ServiceError",
+    "DeadlineExceeded",
+    "backoff_delay",
     "send_msg",
     "recv_msg",
     "parse_host",
     "spawn_local_worker",
     "main",
 ]
+
+_log = logging.getLogger("repro.core.service")
 
 PROTOCOL_VERSION = 2
 
@@ -141,6 +147,32 @@ class ServiceError(RuntimeError):
     message carries the per-host failure trail so a dead service reads as
     an operational problem, not a mystery hang.
     """
+
+
+class DeadlineExceeded(ConnectionError):
+    """A request's per-chunk deadline elapsed with no reply.
+
+    Subclasses :class:`ConnectionError` on purpose: a worker that accepted
+    a chunk and went silent is indistinguishable from a dead transport, so
+    the timeout rides the exact same bounded-failover path (drop the host,
+    re-queue the chunk for the survivors) instead of hanging the dispatch.
+    """
+
+
+def backoff_delay(attempt: int, *, base: float = 0.1, cap: float = 30.0,
+                  key: str = "") -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempt`` counts consecutive failures starting at 0.  The jitter is
+    derived from ``crc32(key:attempt)`` — not a random source — so retry
+    schedules are reproducible run-to-run (the chaos suite depends on it)
+    while distinct hosts still decorrelate their retry storms.  The result
+    is always in ``[base/2, cap]``.
+    """
+    raw = min(float(cap), float(base) * (2.0 ** max(0, int(attempt))))
+    frac = zlib.crc32(f"{key}:{attempt}".encode("utf-8")) % 1000 / 1000.0
+    return raw * (0.5 + 0.5 * frac)
+
 
 #: refuse frames above this size — a longer length prefix means a corrupt
 #: stream or a non-protocol peer, not a real request.
@@ -255,18 +287,22 @@ class MultiplexedConnection:
     degrades transparently to serialized request/reply (no ids on the
     wire), which keeps old workers usable.
 
-    A transport failure fails *every* pending request with
-    :class:`ConnectionError`; the connection is then unusable (callers drop
-    and reconnect).
+    A transport failure (reader-thread death, socket EOF, a corrupt frame)
+    fails *every* pending request with :class:`ConnectionError` — no waiter
+    is ever left blocked; the connection is then unusable (callers drop and
+    reconnect).  Per-request deadlines are available via
+    ``request(msg, timeout=...)``: a worker that accepts a frame and never
+    replies raises :class:`DeadlineExceeded` instead of hanging the caller.
     """
 
     def __init__(self, addr: tuple[str, int], *, connect_timeout: float = 10.0):
         self.addr = addr
         self._sock = socket.create_connection(addr, timeout=connect_timeout)
-        self._sock.settimeout(None)  # simulations may legitimately take minutes
         try:
             # Handshake is id-less by definition: neither side multiplexes
-            # until the worker's protocol version is known.
+            # until the worker's protocol version is known.  It runs under
+            # connect_timeout — a peer that accepts the TCP connection but
+            # never answers hello is as dead as one that refused it.
             send_msg(self._sock, {"op": "hello"})
             hello = recv_msg(self._sock)
         except OSError:
@@ -277,6 +313,11 @@ class MultiplexedConnection:
             self._sock.close()
             raise ConnectionError(
                 f"{addr[0]}:{addr[1]}: bad hello reply {hello!r}")
+        # Steady state is unbounded: simulations may legitimately take
+        # minutes.  Callers bound individual requests with the ``timeout``
+        # argument of :meth:`request` (the per-chunk deadline), not with a
+        # socket-wide timeout that would poison the shared reader.
+        self._sock.settimeout(None)
         self.hello = hello
         self.protocol = int(hello["protocol"])
         self._lock = threading.Lock()        # pending table + broken flag
@@ -296,19 +337,41 @@ class MultiplexedConnection:
     def multiplexed(self) -> bool:
         return self.protocol >= 2
 
-    def request(self, msg: dict) -> dict:
+    def request(self, msg: dict, *, timeout: float | None = None) -> dict:
         """Send one request and block for its reply (thread-safe).
 
         Concurrent callers interleave on the socket when the peer speaks
         protocol 2; against a v1 peer they queue per *request* (still finer
         than queueing per whole dispatch).
+
+        ``timeout`` bounds the wait for *this* reply: when it elapses the
+        request's pending entry is withdrawn and :class:`DeadlineExceeded`
+        is raised, so a hung worker surfaces as a retryable transport
+        failure instead of blocking the caller forever.  A reply that
+        arrives after its deadline (or a duplicate reply) finds no pending
+        entry and is discarded — first reply wins, by request id.
         """
         if not self.multiplexed:
             with self._v1_lock:
                 if self._broken is not None:
                     raise ConnectionError(str(self._broken))
-                send_msg(self._sock, msg)
-                reply = recv_msg(self._sock)
+                try:
+                    self._sock.settimeout(timeout)
+                    send_msg(self._sock, msg)
+                    reply = recv_msg(self._sock)
+                except TimeoutError as exc:
+                    # The v1 stream is now desynced (a late reply would be
+                    # matched to the *next* request), so the connection is
+                    # done for — mark it broken before surfacing.
+                    self._broken = exc
+                    raise DeadlineExceeded(
+                        f"{self.addr[0]}:{self.addr[1]}: no reply within "
+                        f"{timeout:g}s (worker hung?)") from exc
+                finally:
+                    try:
+                        self._sock.settimeout(None)
+                    except OSError:
+                        pass
                 if reply is None:
                     raise ConnectionError("connection closed")
                 return reply
@@ -325,7 +388,14 @@ class MultiplexedConnection:
             with self._lock:
                 self._pending.pop(rid, None)
             raise
-        reply = queue.get()
+        try:
+            reply = queue.get(timeout=timeout)
+        except Empty:
+            with self._lock:
+                self._pending.pop(rid, None)
+            raise DeadlineExceeded(
+                f"{self.addr[0]}:{self.addr[1]}: no reply to request {rid} "
+                f"within {timeout:g}s (worker hung?)") from None
         if isinstance(reply, Exception):
             raise ConnectionError(str(reply)) from reply
         return reply
@@ -567,14 +637,31 @@ class RemoteDispatcher:
     the death of the final live host — or a chunk that kills every shard
     it lands on — surfaces as a prompt :class:`ServiceError` carrying the
     per-host failure trail instead of a requeue spin or an opaque hang.
+
+    ``chunk_timeout`` (seconds per design) arms a per-chunk deadline: a
+    chunk of ``n`` designs must be answered within ``chunk_timeout * n``
+    seconds or its host is treated as hung — a retryable transport failure
+    under the same bounded budget.  ``degraded="local"`` opts into
+    graceful degradation: when every host has been exhausted, the missing
+    rows are evaluated in-process (logged, counted in ``n_degraded``)
+    instead of raising, so a fleet outage stalls a run rather than killing
+    it.  Both default off to preserve exact legacy behaviour.
     """
 
     def __init__(self, hosts, *, connect_timeout: float = 10.0,
-                 max_chunk_requeues: int | None = None):
+                 max_chunk_requeues: int | None = None,
+                 chunk_timeout: float | None = None,
+                 degraded: str | None = None):
         self.addresses = [parse_host(h) for h in hosts]
         if not self.addresses:
             raise ValueError("remote dispatch needs at least one host")
+        if degraded not in (None, "local"):
+            raise ValueError(f"degraded must be None or 'local', got {degraded!r}")
         self.connect_timeout = float(connect_timeout)
+        self.chunk_timeout = (None if chunk_timeout is None
+                              else float(chunk_timeout))
+        self.degraded = degraded
+        self.n_degraded = 0  # designs answered by local fallback evaluation
         self.max_chunk_requeues = (2 * len(self.addresses)
                                    if max_chunk_requeues is None
                                    else int(max_chunk_requeues))
@@ -641,9 +728,16 @@ class RemoteDispatcher:
     class _EvalRejected(Exception):
         """The shard is healthy but refused the request itself."""
 
+    def _control_timeout(self) -> float | None:
+        """Deadline for small control frames (``put_problem``), armed only
+        when eval deadlines are on — shipping is quick relative to evals."""
+        if self.chunk_timeout is None:
+            return None
+        return max(self.connect_timeout, self.chunk_timeout)
+
     def _ship_problem(self, conn, addr, token_hex: str, blob: str) -> None:
         reply = conn.request({"op": "put_problem", "token": token_hex,
-                              "blob": blob})
+                              "blob": blob}, timeout=self._control_timeout())
         if not reply.get("ok"):
             # e.g. the problem's class isn't importable on the worker host —
             # deterministic, so don't retry it against other shards.
@@ -692,8 +786,10 @@ class RemoteDispatcher:
         def eval_chunk(conn, addr, start: int, stop: int) -> dict:
             request = {"op": "eval", "token": token_hex,
                        "X": X[start:stop].tolist()}
+            deadline = (None if self.chunk_timeout is None
+                        else self.chunk_timeout * max(1, stop - start))
             for attempt in (0, 1):
-                reply = conn.request(request)
+                reply = conn.request(request, timeout=deadline)
                 if reply.get("ok"):
                     return reply
                 if reply.get("need_problem") and attempt == 0:
@@ -757,20 +853,54 @@ class RemoteDispatcher:
                         counters_total[name] = counters_total.get(name, 0.0) + value
                     sims_total += int(reply.get("n_sims", len(rows)))
 
-        threads = [threading.Thread(target=run_host, args=(addr,), daemon=True)
-                   for addr in self.addresses]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        # Host threads exit once the queue drains — but a chunk held by a
+        # host that *later* times out (or dies) is re-queued after the
+        # others already left.  Re-fan-out the *surviving* connections (a
+        # host dropped mid-dispatch stays dropped — the bounded-failover
+        # contract) until the queue is truly empty, bounded by the requeue
+        # budget, so a hung straggler at the tail of a dispatch fails over
+        # instead of stranding its rows.
+        candidates = list(self.addresses)
+        for _round in range(1 + self.max_chunk_requeues):
+            threads = [threading.Thread(target=run_host, args=(addr,),
+                                        daemon=True)
+                       for addr in candidates]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with state_lock:
+                if fatal or not pending:
+                    break
+            with self._lock:
+                candidates = [addr for addr in self.addresses
+                              if addr in self._conns]
+            if not candidates:
+                break
         if fatal:
             raise ServiceError("remote evaluation rejected: " + "; ".join(fatal))
         if any(row is None for row in out):
             # Every thread has exited (the last live host died mid-chunk,
             # or the dispatcher was closed) with rows still missing.
             detail = "; ".join(errors) if errors else "dispatcher closed"
-            raise ServiceError(
-                "remote evaluation failed on all hosts: " + detail)
+            if self.degraded == "local" and not self._closed:
+                # Graceful degradation: finish the batch in-process rather
+                # than failing the Study.  Rows are the same deterministic
+                # problem.evaluate answers a worker's serial engine would
+                # have produced, so histories stay bit-identical.
+                missing = [i for i, row in enumerate(out) if row is None]
+                _log.warning(
+                    "remote evaluation degraded to local for %d design(s) "
+                    "(no live workers): %s", len(missing), detail)
+                for i in missing:
+                    out[i] = np.asarray(problem.evaluate(X[i]),
+                                        dtype=np.float64)
+                sims_total += len(missing)
+                with state_lock:
+                    self.n_degraded += len(missing)
+            else:
+                raise ServiceError(
+                    "remote evaluation failed on all hosts: " + detail)
         return np.vstack(out), counters_total, sims_total
 
 
@@ -845,10 +975,15 @@ def _register_loop(registry: str, address: str, interval: float,
                    stop: threading.Event) -> None:
     """Keep a registration + heartbeat session alive against a registry.
 
-    Reconnects (with the registration re-sent) after any transport error,
-    so a registry restart just re-discovers the worker on the next beat.
+    Reconnects (with the registration automatically re-sent) after any
+    transport error, so a registry restart just re-discovers the worker on
+    a later beat.  Consecutive failures back off exponentially (capped,
+    deterministically jittered per worker address) instead of hammering a
+    down registry at a fixed cadence — and the loop itself never dies; it
+    keeps trying until the worker shuts down.
     """
     addr = parse_host(registry)
+    failures = 0
     while not stop.is_set():
         try:
             with socket.create_connection(addr, timeout=5.0) as conn:
@@ -856,6 +991,7 @@ def _register_loop(registry: str, address: str, interval: float,
                 send_msg(conn, {"op": "register", "address": address})
                 if not (recv_msg(conn) or {}).get("ok"):
                     raise ConnectionError("registration rejected")
+                failures = 0
                 while not stop.wait(interval):
                     send_msg(conn, {"op": "heartbeat", "address": address})
                     reply = recv_msg(conn)
@@ -866,7 +1002,10 @@ def _register_loop(registry: str, address: str, interval: float,
                     recv_msg(conn)
                     return
         except (OSError, ConnectionError, ValueError):
-            stop.wait(min(interval, 1.0))
+            delay = backoff_delay(failures, base=min(interval, 0.5),
+                                  cap=15.0, key=address)
+            failures += 1
+            stop.wait(delay)
 
 
 def main(argv=None) -> None:

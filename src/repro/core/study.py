@@ -123,6 +123,14 @@ class Study:
     checkpoint_path / checkpoint_every:
         When both are set, :meth:`save` runs automatically every
         ``checkpoint_every`` batches.
+    auto_checkpoint / every:
+        Crash-resumable shorthand: ``Study(opt, auto_checkpoint=path,
+        every=n)`` checkpoints every ``n`` told batches (default 1, i.e.
+        every batch) *and* writes a final snapshot on the way out of
+        :meth:`run` — normal return or crash — so a long run interrupted by
+        a fleet outage resumes from its last told batch via :meth:`load`
+        with nothing extra wired up.  Mutually exclusive with
+        ``checkpoint_path``.
     warm_start:
         Optional :class:`~repro.core.warmstart.WarmStart` — a donor run's
         archive to transfer in before the first ask.  Same-problem donors
@@ -141,6 +149,8 @@ class Study:
                  stop_when: Callable | None = None,
                  checkpoint_path: str | None = None,
                  checkpoint_every: int = 0,
+                 auto_checkpoint: str | os.PathLike | None = None,
+                 every: int | None = None,
                  warm_start=None):
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
@@ -148,6 +158,18 @@ class Study:
             raise ValueError("ask_size must be >= 1")
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        self._save_on_exit = False
+        if auto_checkpoint is not None:
+            if checkpoint_path is not None:
+                raise ValueError(
+                    "pass auto_checkpoint or checkpoint_path, not both")
+            if every is not None and every < 1:
+                raise ValueError("every must be >= 1")
+            checkpoint_path = os.fspath(auto_checkpoint)
+            checkpoint_every = 1 if every is None else int(every)
+            self._save_on_exit = True
+        elif every is not None:
+            raise ValueError("every requires auto_checkpoint")
         if engine is not None:
             optimizer.engine = engine
         self.optimizer = optimizer
@@ -268,6 +290,15 @@ class Study:
                 except Exception:
                     pass
             attach_engine_stats(history, engine, counters_before)
+            if self._save_on_exit and self.checkpoint_path and self.n_batches:
+                # Crash-resumable by default: whatever ended this run —
+                # normal return, ServiceError, KeyboardInterrupt — the last
+                # told batch is on disk for Study.load.  Best-effort: a
+                # checkpoint failure must not mask the run's own outcome.
+                try:
+                    self.save(self.checkpoint_path)
+                except Exception:
+                    pass
         return history
 
     # -- dispatch -----------------------------------------------------------

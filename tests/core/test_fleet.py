@@ -319,6 +319,76 @@ def test_elastic_join_serves_work_queued_before_any_worker():
 
 
 # ----------------------------------------------------------------------
+# graceful degradation: zero live workers -> bounded local evaluation
+# ----------------------------------------------------------------------
+def test_degraded_local_tenant_survives_zero_worker_fleet():
+    # A degraded="local" tenant whose dispatch sits degraded_after seconds
+    # with no live workers gets its queued chunks evaluated in-process —
+    # same deterministic rows, counted in the stats — instead of waiting
+    # forever (or failing) on an empty fleet.
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(11), 6)
+    with FleetCoordinator(poll_interval=0.05, degraded_after=0.3) as fleet:
+        engine = fleet.engine("stranded", degraded="local")
+        F = engine.evaluate_batch(problem, X)
+        np.testing.assert_array_equal(F, problem.evaluate_batch(X))
+        stats = fleet.stats()
+        assert stats["tenants"]["stranded"]["degraded"] == "local"
+        assert stats["tenants"]["stranded"]["degraded_designs"] == 6
+        assert stats["tenants"]["stranded"]["worker_sims"] == 6
+        assert stats["degraded_designs"] == 6
+        engine.close()
+
+
+def test_default_tenant_still_waits_on_empty_fleet():
+    # Without the opt-in, the elasticity contract is unchanged: chunks wait
+    # for a worker, they are never silently evaluated locally.
+    with FleetCoordinator(poll_interval=0.05, degraded_after=0.1) as fleet:
+        engine = fleet.engine("patient")
+        problem = Sphere(2)
+        X = problem.space.sample(np.random.default_rng(0), 3)
+        result = {}
+
+        def run():
+            try:
+                result["F"] = engine.evaluate_batch(problem, X)
+            except Exception as exc:
+                result["error"] = exc
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        time.sleep(0.6)  # several degraded_after windows: still queued
+        assert thread.is_alive() and not result
+        engine.close()   # detach aborts the stranded dispatch
+        thread.join(30)
+    assert "F" not in result and "error" in result
+
+
+def test_fleet_engine_rejects_bad_degraded_and_hedge_config():
+    with FleetCoordinator() as fleet:
+        with pytest.raises(ValueError, match="degraded"):
+            fleet.engine("t", degraded="bogus")
+    with pytest.raises(ValueError, match="hedge_factor"):
+        FleetCoordinator(hedge_factor=1.0)
+    with pytest.raises(ValueError, match="chunk_timeout"):
+        FleetCoordinator(chunk_timeout=0.0)
+
+
+def test_degraded_local_defers_to_worker_that_joins_in_time(two_local_servers):
+    # With live workers the degraded tenant behaves exactly like any other:
+    # the fallback never fires, the fleet serves the work.
+    hosts = [server.address for server in two_local_servers]
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(12), 8)
+    with FleetCoordinator(hosts=hosts, degraded_after=0.5) as fleet:
+        engine = fleet.engine("covered", degraded="local")
+        np.testing.assert_array_equal(engine.evaluate_batch(problem, X),
+                                      problem.evaluate_batch(X))
+        assert fleet.stats()["degraded_designs"] == 0
+        engine.close()
+
+
+# ----------------------------------------------------------------------
 # worker-side persistent cache (--cache-dir): two-process smoke
 # ----------------------------------------------------------------------
 def test_worker_cache_dir_two_process_smoke(tmp_path):

@@ -404,6 +404,283 @@ class _FlakyWorker:
         self._thread.join(timeout=5)
 
 
+def test_backoff_delay_is_deterministic_capped_and_jittered():
+    # Same (attempt, key) always yields the same delay — retry schedules
+    # are reproducible — while distinct keys decorrelate their storms.
+    assert service.backoff_delay(3, key="w:1") == service.backoff_delay(3, key="w:1")
+    assert service.backoff_delay(3, key="w:1") != service.backoff_delay(3, key="w:2")
+    for attempt in range(12):
+        delay = service.backoff_delay(attempt, base=0.1, cap=5.0, key="w:1")
+        raw = min(5.0, 0.1 * 2 ** attempt)
+        assert raw / 2 <= delay <= 5.0  # jitter halves at most, cap holds
+    # growth: late attempts sit near the cap, early ones near the base
+    assert service.backoff_delay(20, base=0.1, cap=5.0, key="x") > 2.0
+    assert service.backoff_delay(0, base=0.1, cap=5.0, key="x") <= 0.1
+
+
+def test_hung_worker_deadline_raises_service_error_with_trail():
+    # The settimeout(None) seam: a worker that accepts a chunk and never
+    # replies must surface as a prompt ServiceError carrying the deadline
+    # trail — never as an indefinite hang.
+    workers = [_FlakyWorker("hang"), _FlakyWorker("hang")]
+    try:
+        problem = Sphere(2)
+        X = problem.space.sample(np.random.default_rng(3), 4)
+        import time
+        t0 = time.perf_counter()
+        with EvalEngine("remote", hosts=[w.address for w in workers],
+                        chunk_timeout=0.3) as engine:
+            with pytest.raises(service.ServiceError,
+                               match="no reply.*worker hung"):
+                engine.evaluate_batch(problem, X)
+        assert time.perf_counter() - t0 < 30.0
+    finally:
+        for w in workers:
+            w.close()
+
+
+def test_hung_worker_fails_over_to_healthy_host(local_server):
+    # One hung shard + one healthy shard: the deadline reclassifies the
+    # hang as a transport failure, the chunk requeues, the batch completes.
+    hung = _FlakyWorker("hang")
+    try:
+        problem = Sphere(2)
+        X = problem.space.sample(np.random.default_rng(8), 6)
+        with EvalEngine("remote", hosts=[hung.address, local_server.address],
+                        chunk_timeout=0.3) as engine:
+            F = engine.evaluate_batch(problem, X)
+        np.testing.assert_array_equal(F, problem.evaluate_batch(X))
+        assert hung.eval_requests >= 1  # the hang really was exercised
+    finally:
+        hung.close()
+
+
+def test_chunk_timeout_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", "2.5")
+    engine = EvalEngine()
+    assert engine.chunk_timeout == 2.5
+    engine.close()
+    monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", "")
+    engine = EvalEngine()
+    assert engine.chunk_timeout is None
+    engine.close()
+    with pytest.raises(ValueError, match="chunk_timeout"):
+        EvalEngine(chunk_timeout=-1.0)
+    with pytest.raises(ValueError, match="degraded"):
+        EvalEngine(degraded="bogus")
+
+
+def test_degraded_local_finishes_batch_with_no_live_workers():
+    # Graceful degradation: every host dead -> the missing rows are
+    # evaluated in-process (logged, counted), not raised as ServiceError.
+    with socket.socket() as placeholder:
+        placeholder.bind(("127.0.0.1", 0))
+        dead = f"127.0.0.1:{placeholder.getsockname()[1]}"
+    problem = Sphere(3)
+    X = problem.space.sample(np.random.default_rng(9), 5)
+    with EvalEngine("remote", hosts=[dead], degraded="local") as engine:
+        F = engine.evaluate_batch(problem, X)
+        assert engine._remote.n_degraded == 5
+    np.testing.assert_array_equal(F, problem.evaluate_batch(X))
+
+
+class _SilentV2Peer:
+    """Accepts connections, answers hello as protocol 2, then goes mute."""
+
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.addr = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self.conns = []
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        self._listener.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.conns.append(conn)
+            threading.Thread(target=self._session, args=(conn,),
+                             daemon=True).start()
+
+    def _session(self, conn):
+        try:
+            msg = service.recv_msg(conn)
+            if msg and msg.get("op") == "hello":
+                service.send_msg(conn, {"ok": True, "protocol": 2})
+            while not self._stop.is_set():  # swallow everything after hello
+                if service.recv_msg(conn) is None:
+                    return
+        except (ConnectionError, OSError, ValueError):
+            return
+
+    def drop_clients(self):
+        for conn in self.conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def close(self):
+        self._stop.set()
+        self.drop_clients()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def test_reader_death_fails_every_pending_waiter_promptly():
+    # EOF/reader-thread death on a multiplexed connection must fail *all*
+    # pending requests with ConnectionError — no waiter left blocked.
+    import time
+    peer = _SilentV2Peer()
+    try:
+        conn = service.MultiplexedConnection(peer.addr)
+        assert conn.multiplexed
+        outcomes = []
+
+        def ask():
+            try:
+                conn.request({"op": "stats"})
+                outcomes.append("replied")
+            except ConnectionError:
+                outcomes.append("failed")
+
+        threads = [threading.Thread(target=ask) for _ in range(5)]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)              # all five are pending on the reader
+        peer.drop_clients()          # peer dies: EOF on the socket
+        for t in threads:
+            t.join(timeout=10)
+        assert outcomes == ["failed"] * 5
+        with pytest.raises(ConnectionError):  # connection is done for
+            conn.request({"op": "stats"})
+        conn.close()
+    finally:
+        peer.close()
+
+
+def test_request_deadline_fires_and_late_duplicate_reply_is_discarded():
+    # Per-request deadline on the mux path + first-reply-wins: a reply that
+    # lands after its deadline (and a duplicate of it) finds no pending
+    # entry and is silently discarded; the connection stays usable.
+    import time
+    listener = socket.create_server(("127.0.0.1", 0))
+    stop = threading.Event()
+
+    def peer():
+        listener.settimeout(5.0)
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return
+        with conn:
+            while not stop.is_set():
+                try:
+                    msg = service.recv_msg(conn)
+                except (ConnectionError, OSError, ValueError):
+                    return
+                if msg is None:
+                    return
+                if msg.get("op") == "hello":
+                    service.send_msg(conn, {"ok": True, "protocol": 2})
+                elif msg.get("op") == "slow":
+                    time.sleep(0.5)  # past the caller's 0.2 s deadline
+                    late = {"ok": True, "id": msg["id"]}
+                    service.send_msg(conn, late)
+                    service.send_msg(conn, late)  # and its duplicate
+                else:
+                    service.send_msg(conn, {"ok": True, "id": msg["id"],
+                                            "fresh": True})
+
+    thread = threading.Thread(target=peer, daemon=True)
+    thread.start()
+    try:
+        conn = service.MultiplexedConnection(listener.getsockname()[:2])
+        assert conn.multiplexed
+        with pytest.raises(service.DeadlineExceeded, match="no reply"):
+            conn.request({"op": "slow"}, timeout=0.2)
+        # The late reply and its duplicate hit the reader before the next
+        # reply does (the peer serves in order); both must be discarded and
+        # request 2 must receive *its* frame, not a stale id-1 one.
+        reply = conn.request({"op": "next"}, timeout=10.0)
+        assert reply.get("fresh") and reply["id"] == 2
+        conn.close()
+    finally:
+        stop.set()
+        listener.close()
+        thread.join(timeout=10)
+
+
+def test_v1_deadline_marks_connection_broken():
+    # On a v1 (serialized) connection a timeout desyncs the stream, so the
+    # connection must refuse further use instead of mismatching replies.
+    import base64
+    import pickle
+
+    from repro.problems import LatencyProblem
+
+    worker = _V1Worker()
+    try:
+        problem = LatencyProblem(Sphere(2), 0.5)  # slower than the deadline
+        conn = service.MultiplexedConnection(service.parse_host(worker.address))
+        assert not conn.multiplexed
+        blob = base64.b64encode(pickle.dumps(problem)).decode("ascii")
+        assert conn.request({"op": "put_problem", "token": "ab",
+                             "blob": blob})["ok"]
+        with pytest.raises(service.DeadlineExceeded, match="no reply"):
+            conn.request({"op": "eval", "token": "ab", "X": [[0.0, 0.0]]},
+                         timeout=0.1)
+        with pytest.raises(ConnectionError):  # stream desynced: refuse reuse
+            conn.request({"op": "hello"})
+        conn.close()
+    finally:
+        worker.close()
+
+
+def test_register_loop_survives_registry_restart():
+    # The worker-side heartbeat loop must outlive a registry restart:
+    # backoff while it is down, re-register on the next successful connect.
+    from repro.core.fleet import RegistryServer, WorkerRegistry
+    import time
+    registry1 = WorkerRegistry(timeout=30.0)
+    server1 = RegistryServer(registry1)
+    port = server1.port
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=service._register_loop,
+        args=(server1.address, "worker:9", 0.05, stop), daemon=True)
+    thread.start()
+    server2 = None
+    try:
+        deadline = time.monotonic() + 10.0
+        while "worker:9" not in registry1.live():
+            assert time.monotonic() < deadline, "initial registration missed"
+            time.sleep(0.02)
+        server1.close()              # registry restart: same port, new state
+        time.sleep(0.3)              # loop is now failing + backing off
+        registry2 = WorkerRegistry(timeout=30.0)
+        server2 = RegistryServer(registry2, port=port)
+        deadline = time.monotonic() + 15.0
+        while "worker:9" not in registry2.live():
+            assert time.monotonic() < deadline, (
+                "worker never re-registered after the registry restart")
+            time.sleep(0.02)
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+        server1.close()
+        if server2 is not None:
+            server2.close()
+
+
 def test_last_host_death_raises_service_error_promptly():
     # Every shard dies mid-chunk: the bounded failover must surface a
     # ServiceError carrying the host trail — not spin on requeues or

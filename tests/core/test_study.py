@@ -571,3 +571,61 @@ def test_checkpoint_resume_bit_identical_with_integer_dims(tmp_path):
     interrupted.run()
     finished = Study.load(str(path), make()).run()
     assert_history_equal(reference, finished)
+
+
+# ----------------------------------------------------------------------
+# auto_checkpoint: crash-resumable shorthand
+# ----------------------------------------------------------------------
+def test_auto_checkpoint_parameter_validation(tmp_path):
+    opt = RandomSearch(Sphere(2), 5, 0)
+    path = tmp_path / "auto.ckpt.json"
+    with pytest.raises(ValueError, match="not both"):
+        Study(opt, auto_checkpoint=str(path), checkpoint_path=str(path))
+    with pytest.raises(ValueError, match="every requires"):
+        Study(opt, every=2)
+    with pytest.raises(ValueError, match="every must be"):
+        Study(opt, auto_checkpoint=str(path), every=0)
+    study = Study(opt, auto_checkpoint=str(path), every=3)
+    assert study.checkpoint_path == str(path)
+    assert study.checkpoint_every == 3
+    assert Study(opt, auto_checkpoint=str(path)).checkpoint_every == 1
+
+
+def test_auto_checkpoint_writes_final_snapshot_on_normal_return(tmp_path):
+    path = tmp_path / "auto.ckpt.json"
+    history = Study(RandomSearch(Sphere(2), 8, 1),
+                    auto_checkpoint=str(path)).run()
+    assert path.exists()
+    # the on-exit snapshot resumes to the already-complete run
+    resumed = Study.load(str(path), RandomSearch(Sphere(2), 8, 1)).run()
+    assert_history_equal(history, resumed)
+
+
+def test_auto_checkpoint_crash_mid_run_resumes_bit_identical(tmp_path):
+    # The failure-domain pin: a run killed mid-batch by a raising evaluation
+    # (the local stand-in for a fleet outage) leaves its last told batch on
+    # disk; resuming with a healthy problem completes bit-identically to an
+    # uninterrupted run, without re-simulating the recorded prefix.
+    class DyingSphere(Sphere):
+        def __init__(self, dim=2, fail_after=9):
+            super().__init__(dim)
+            self.calls = 0
+            self.fail_after = fail_after
+
+        def _evaluate(self, x):
+            self.calls += 1
+            if self.calls > self.fail_after:
+                raise RuntimeError("simulator farm went down")
+            return super()._evaluate(x)
+
+    reference = Study(RandomSearch(Sphere(2), 16, 3)).run()
+    path = tmp_path / "crash.ckpt.json"
+    crashing = Study(RandomSearch(DyingSphere(2, fail_after=9), 16, 3),
+                     auto_checkpoint=str(path))
+    with pytest.raises(RuntimeError, match="farm went down"):
+        crashing.run()
+    assert path.exists(), "the crash exit path must still write a snapshot"
+    assert crashing.n_batches >= 1
+
+    resumed = Study.load(str(path), RandomSearch(Sphere(2), 16, 3)).run()
+    assert_history_equal(reference, resumed)
