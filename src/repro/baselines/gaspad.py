@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.fom import fom_from_raw
 from ..core.history import Optimizer
 from ..gp import GaussianProcess, lower_confidence_bound
 

@@ -11,7 +11,6 @@ breaking the loop at the error-amp feedback input with the L/C servo
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..problems.base import Objective, Spec, Variable
 from ..spice import Circuit, NMOS_7, PMOS_7, ac_analysis, operating_point, waveform

@@ -34,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..problems.base import Objective, Spec, Variable
-from ..spice import Circuit, NMOS_180, PMOS_180, Pulse, operating_point, transient
+from ..spice import Circuit, NMOS_180, PMOS_180, Pulse, transient
 from ..spice.devices.passives import BOLTZMANN, ROOM_TEMPERATURE
 from ..spice.errors import AnalysisError
 from ..spice.waveform import crossings

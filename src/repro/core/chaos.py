@@ -145,10 +145,10 @@ class FaultPlan:
     def __init__(self, specs, *, seed: int = 0):
         self.specs = tuple(specs)
         self.seed = int(seed)
-        self._rng = random.Random(self.seed)
-        self._seen = [0] * len(self.specs)
+        self._rng = random.Random(self.seed)   # guarded by: _lock
+        self._seen = [0] * len(self.specs)     # guarded by: _lock
         self._lock = threading.Lock()
-        self.fired: dict[str, int] = {}
+        self.fired: dict[str, int] = {}        # guarded by: _lock
 
     def decide(self, op: str) -> list[FaultSpec]:
         """The specs firing on this frame (advances the matching counters)."""
@@ -171,8 +171,9 @@ class FaultPlan:
         return hits
 
     def __repr__(self) -> str:
-        return (f"FaultPlan(seed={self.seed}, specs={list(self.specs)!r}, "
-                f"fired={self.fired})")
+        with self._lock:
+            return (f"FaultPlan(seed={self.seed}, "
+                    f"specs={list(self.specs)!r}, fired={self.fired})")
 
 
 class _Session:
@@ -186,8 +187,8 @@ class _Session:
         # Faults decided at request time, executed on the reply path.
         # Id-carrying requests map by id; id-less (v1/hello) replies come
         # back strictly in order, so a FIFO queue lines them up.
-        self._by_id: dict[int, list[FaultSpec]] = {}
-        self._fifo: deque[list[FaultSpec]] = deque()
+        self._by_id: dict[int, list[FaultSpec]] = {}  # guarded by: _lock
+        self._fifo: deque[list[FaultSpec]] = deque()  # guarded by: _lock
         self._held: dict | None = None  # "reorder" buffer
 
     def run(self) -> None:
@@ -312,7 +313,7 @@ class ChaosProxy:
         self.plan = plan
         self._stop = threading.Event()
         self._lock = threading.Lock()
-        self._socks: list[socket.socket] = []
+        self._socks: list[socket.socket] = []  # guarded by: _lock
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._thread = threading.Thread(target=self._accept_loop,

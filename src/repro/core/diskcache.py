@@ -80,16 +80,16 @@ class DiskCache:
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.refresh_interval = float(refresh_interval)
-        self._index: dict[bytes, np.ndarray] = {}
-        self._offsets: dict[str, int] = {}  # shard path -> bytes consumed
-        self._writer = None                 # lazily-opened own shard handle
-        self._writer_path: str | None = None
-        self._last_refresh = -float("inf")
-        self._closed = False
+        self._index: dict[bytes, np.ndarray] = {}          # guarded by: _lock
+        self._offsets: dict[str, int] = {}  # shard path -> bytes consumed; guarded by: _lock
+        self._writer = None                 # lazily-opened own shard handle; guarded by: _lock
+        self._writer_path: str | None = None                # guarded by: _lock
+        self._last_refresh = -float("inf")                  # guarded by: _lock
+        self._closed = False                                # guarded by: _lock
         self._lock = threading.Lock()
-        self.n_hits = 0
-        self.n_misses = 0
-        self.n_corrupt = 0  # records skipped for a bad CRC/length
+        self.n_hits = 0                                     # guarded by: _lock
+        self.n_misses = 0                                   # guarded by: _lock
+        self.n_corrupt = 0  # records skipped for a bad CRC/length; guarded by: _lock
         with self._lock:
             self._refresh_locked(force=True)
 
@@ -140,7 +140,7 @@ class DiskCache:
                 self._offsets.get(self._writer_path, 0) + len(record))
             return True
 
-    def _writer_locked(self):
+    def _writer_locked(self):  # holds: _lock
         if self._writer is None:
             name = f"shard-{os.getpid():d}-{os.urandom(4).hex()}.bin"
             self._writer_path = os.path.join(self.directory, name)
@@ -154,7 +154,7 @@ class DiskCache:
         with self._lock:
             self._refresh_locked(force=True)
 
-    def _refresh_locked(self, force: bool = False) -> None:
+    def _refresh_locked(self, force: bool = False) -> None:  # holds: _lock
         now = time.monotonic()
         if not force and now - self._last_refresh < self.refresh_interval:
             return
@@ -169,7 +169,7 @@ class DiskCache:
             path = os.path.join(self.directory, name)
             self._scan_shard_locked(path)
 
-    def _scan_shard_locked(self, path: str) -> None:
+    def _scan_shard_locked(self, path: str) -> None:  # holds: _lock
         offset = self._offsets.get(path, 0)
         try:
             size = os.path.getsize(path)
@@ -241,8 +241,9 @@ class DiskCache:
         return False
 
     def __repr__(self) -> str:
-        return (f"DiskCache({self.directory!r}, entries={len(self._index)}, "
-                f"hits={self.n_hits})")
+        with self._lock:
+            return (f"DiskCache({self.directory!r}, "
+                    f"entries={len(self._index)}, hits={self.n_hits})")
 
 
 # ----------------------------------------------------------------------

@@ -246,7 +246,7 @@ class EvalEngine:
         self.backend = backend
         self.workers = int(workers) if workers is not None else default_workers()
         self.cache_size = int(cache_size)
-        self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()  # guarded by: _state_lock
         if cache_dir is None:
             cache_dir = os.environ.get(CACHE_DIR_ENV) or None
         self.cache_dir = os.fspath(cache_dir) if cache_dir else None
@@ -261,34 +261,34 @@ class EvalEngine:
         # pins dropped problems in memory.  Unpicklable problems fall back to
         # a unique anonymous token (and, if also un-weakref-able, a strong
         # pin — the pre-fingerprint behaviour).
-        self._problem_tokens: dict[int, bytes] = {}
-        self._problem_wrefs: dict[int, weakref.ref] = {}
-        self._problem_pins: dict[int, object] = {}
+        self._problem_tokens: dict[int, bytes] = {}   # guarded by: _state_lock
+        self._problem_wrefs: dict[int, weakref.ref] = {}  # guarded by: _state_lock
+        self._problem_pins: dict[int, object] = {}    # guarded by: _state_lock
         self._anon_tokens = count()
-        self._executor = None
-        self._executor_token: bytes | None = None  # problem the pool is warm for
-        self._async = None
-        self._remote = dispatcher
+        self._executor = None          # guarded by: _state_lock
+        self._executor_token: bytes | None = None  # pool's problem; guarded by: _state_lock
+        self._async = None             # guarded by: _state_lock
+        self._remote = dispatcher      # guarded by: _state_lock
         # Non-blocking submit/gather machinery: a small thread pool runs the
         # dispatches, ``_inflight`` maps each pending design's cache key to
         # the future that will produce its row (so overlapping submits never
         # simulate the same design twice), and ``_state_lock`` guards the
         # cache, counters and problem-token tables against those threads.
-        self._submit_executor: ThreadPoolExecutor | None = None
-        self._inflight: dict[bytes, object] = {}
+        self._submit_executor: ThreadPoolExecutor | None = None  # guarded by: _state_lock
+        self._inflight: dict[bytes, object] = {}      # guarded by: _state_lock
         self._state_lock = threading.RLock()
-        self._closed = False
-        self.n_sim_calls = 0    # designs actually dispatched to the simulator
-        self.n_cache_hits = 0   # designs answered from the cache
-        self.n_disk_hits = 0    # ...of which came from the persistent tier
-        self.n_dedup = 0        # designs answered by an in-batch/in-flight twin
-        self.n_pool_builds = 0  # process pools built over the engine's lifetime
-        self.worker_sim_calls = 0  # simulations reported back by remote shards
+        self._closed = False                          # guarded by: _state_lock
+        self.n_sim_calls = 0    # dispatched to the simulator; guarded by: _state_lock
+        self.n_cache_hits = 0   # answered from the cache; guarded by: _state_lock
+        self.n_disk_hits = 0    # ...from the persistent tier; guarded by: _state_lock
+        self.n_dedup = 0        # answered by an in-batch/in-flight twin; guarded by: _state_lock
+        self.n_pool_builds = 0  # pools built over the lifetime; guarded by: _state_lock
+        self.worker_sim_calls = 0  # sims reported by remote shards; guarded by: _state_lock
         # Per-phase hot-path breakdown, accumulated from the simulator's
         # counters around each dispatch; process/remote backends fold in the
         # per-chunk deltas their workers report back.
-        self.dispatch_seconds = 0.0
-        self.phase_counters: dict[str, float] = {}
+        self.dispatch_seconds = 0.0                   # guarded by: _state_lock
+        self.phase_counters: dict[str, float] = {}    # guarded by: _state_lock
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -303,24 +303,30 @@ class EvalEngine:
         queued but not yet started are cancelled, and their ``gather``
         raises too.  A closed engine rejects further :meth:`submit` calls.
         """
+        # Swap every handle out under the lock (concurrent close()/dispatch
+        # calls then agree on one owner per handle), but run the blocking
+        # teardown *outside* it: submit-pool threads take _state_lock
+        # themselves, so holding it across shutdown(wait=True) would
+        # deadlock.
         with self._state_lock:
             self._closed = True
-        if self._async is not None:
-            self._async.close()
-            self._async = None
-        if self._remote is not None:
-            self._remote.close()
-            self._remote = None
-        if self._submit_executor is not None:
-            self._submit_executor.shutdown(wait=True, cancel_futures=True)
-            self._submit_executor = None
+            async_d, self._async = self._async, None
+            remote, self._remote = self._remote, None
+            submit, self._submit_executor = self._submit_executor, None
+        if async_d is not None:
+            async_d.close()
+        if remote is not None:
+            remote.close()
+        if submit is not None:
+            submit.shutdown(wait=True, cancel_futures=True)
             with self._state_lock:
                 self._inflight.clear()
-        self._close_worker_pool()
+        with self._state_lock:
+            self._close_worker_pool()
         if self._disk is not None:
             self._disk.close()
 
-    def _close_worker_pool(self) -> None:
+    def _close_worker_pool(self) -> None:  # holds: _state_lock
         """Shut down only the thread/process worker pool.
 
         Separate from :meth:`close` because a problem switch under the
@@ -535,7 +541,7 @@ class EvalEngine:
                 self._inflight.pop(key, None)
         return dict(zip(keys, fresh))
 
-    def _submit_pool(self) -> ThreadPoolExecutor:
+    def _submit_pool(self) -> ThreadPoolExecutor:  # holds: _state_lock
         if self._closed:
             raise RuntimeError("EvalEngine is closed")
         if self._submit_executor is None:
@@ -555,7 +561,10 @@ class EvalEngine:
         with self._state_lock:
             return self._problem_token_locked(problem)
 
-    def _problem_token_locked(self, problem) -> bytes:
+    def _problem_token_locked(self, problem) -> bytes:  # holds: _state_lock
+        # id() only keys the per-live-instance memo; the cache key that
+        # reaches results is the content fingerprint below, which is stable
+        # across runs.  # lint: disable=RP01
         pid = id(problem)
         token = self._problem_tokens.get(pid)
         if token is not None:
@@ -608,7 +617,7 @@ class EvalEngine:
         return digest.digest()
 
     # -- cache -------------------------------------------------------------
-    def _cache_get(self, key: bytes) -> np.ndarray | None:
+    def _cache_get(self, key: bytes) -> np.ndarray | None:  # holds: _state_lock
         if self.cache_size == 0:
             return None
         row = self._cache.get(key)
@@ -627,7 +636,8 @@ class EvalEngine:
                 return row
         return None
 
-    def _cache_put(self, key: bytes, row: np.ndarray, durable: bool = True) -> None:
+    def _cache_put(self, key: bytes, row: np.ndarray,
+                   durable: bool = True) -> None:  # holds: _state_lock
         if self.cache_size == 0:
             return
         self._cache[key] = row
@@ -764,18 +774,40 @@ class EvalEngine:
         and ``remote`` shards measure the counters where the simulation ran
         and ship the per-chunk deltas back with each result.
         """
-        report = {name: self.phase_counters.get(name, 0.0) for name in _PHASES}
-        report["newton_iterations"] = self.phase_counters.get("newton_iterations", 0.0)
-        report["newton_solves"] = self.phase_counters.get("newton_solves", 0.0)
-        report["ac_solves"] = self.phase_counters.get("ac_solves", 0.0)
-        report["dispatch_s"] = self.dispatch_seconds
-        report["overhead_s"] = max(
-            0.0, self.dispatch_seconds - sum(report[name] for name in _PHASES))
-        report["n_sim_calls"] = float(self.n_sim_calls)
+        with self._state_lock:
+            report = {name: self.phase_counters.get(name, 0.0)
+                      for name in _PHASES}
+            for extra in ("newton_iterations", "newton_solves", "ac_solves"):
+                report[extra] = self.phase_counters.get(extra, 0.0)
+            report["dispatch_s"] = self.dispatch_seconds
+            report["overhead_s"] = max(
+                0.0,
+                self.dispatch_seconds - sum(report[name] for name in _PHASES))
+            report["n_sim_calls"] = float(self.n_sim_calls)
         return report
+
+    def counters_snapshot(self) -> dict:
+        """Point-in-time consistent copy of the cache/dispatch counters.
+
+        The one sanctioned way for *other* threads and objects (worker
+        stats, fleet telemetry, study summaries) to read the counters:
+        every field comes from the same instant under ``_state_lock``,
+        instead of a torn unlocked read per attribute.
+        """
+        with self._state_lock:
+            return {"n_sim_calls": self.n_sim_calls,
+                    "n_cache_hits": self.n_cache_hits,
+                    "n_disk_hits": self.n_disk_hits,
+                    "n_dedup": self.n_dedup,
+                    "n_pool_builds": self.n_pool_builds,
+                    "worker_sim_calls": self.worker_sim_calls,
+                    "cache_entries": len(self._cache),
+                    "dispatch_seconds": self.dispatch_seconds}
 
     def __repr__(self) -> str:
         hosts = f", hosts={self.hosts!r}" if self.backend == "remote" else ""
         disk = f", cache_dir={self.cache_dir!r}" if self.cache_dir else ""
+        with self._state_lock:
+            entries = len(self._cache)
         return (f"EvalEngine(backend={self.backend!r}, workers={self.workers}, "
-                f"cache={len(self._cache)}/{self.cache_size}{hosts}{disk})")
+                f"cache={entries}/{self.cache_size}{hosts}{disk})")

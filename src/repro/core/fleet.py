@@ -108,10 +108,10 @@ class WorkerRegistry:
     def __init__(self, *, timeout: float = 10.0):
         self.timeout = float(timeout)
         self._lock = threading.Lock()
-        self._seen: dict[str, float] = {}   # address -> last heartbeat
-        self._static: set[str] = set()
-        self.n_joins = 0
-        self.n_drops = 0  # age-outs (explicit deregisters not counted)
+        self._seen: dict[str, float] = {}   # address -> last heartbeat; guarded by: _lock
+        self._static: set[str] = set()      # guarded by: _lock
+        self.n_joins = 0                    # guarded by: _lock
+        self.n_drops = 0  # age-outs (explicit deregisters not counted); guarded by: _lock
 
     def register(self, address: str, *, static: bool = False) -> None:
         address = str(address)
@@ -382,8 +382,11 @@ class _HostPump:
         self.n_chunks = 0
         self.n_sims = 0
         self.inflight = 0
-        self._conn: MultiplexedConnection | None = None
+        self._conn: MultiplexedConnection | None = None  # guarded by: _conn_lock
         self._conn_lock = threading.Lock()
+        # Intentionally lock-free (not annotated): slot threads race on the
+        # shipped-token set, but set ops are GIL-atomic and the worst case
+        # is a redundant idempotent put_problem re-ship — never corruption.
         self._shipped: set[str] = set()
         self._threads = [
             threading.Thread(target=self._run,
@@ -566,21 +569,21 @@ class FleetCoordinator:
         self.hedge_min_s = float(hedge_min_s)
         self.degraded_after = max(0.0, float(degraded_after))
         self._cond = threading.Condition()
-        self._tenants: dict[str, _Tenant] = {}
-        self._order: list[str] = []   # round-robin ring (stable across churn)
-        self._rr = -1
-        self._pumps: dict[str, _HostPump] = {}
-        self._quarantine: dict[str, float] = {}  # failed host -> retry-after
-        self._failures: dict[str, int] = {}      # consecutive failure count
-        self._running: set[_Job] = set()         # jobs on some worker now
-        self._latencies: deque[float] = deque(maxlen=512)  # completed chunks
+        self._tenants: dict[str, _Tenant] = {}   # guarded by: _cond
+        self._order: list[str] = []   # round-robin ring; guarded by: _cond
+        self._rr = -1                 # guarded by: _cond
+        self._pumps: dict[str, _HostPump] = {}   # guarded by: _cond
+        self._quarantine: dict[str, float] = {}  # retry-after per host; guarded by: _cond
+        self._failures: dict[str, int] = {}      # failure streaks; guarded by: _cond
+        self._running: set[_Job] = set()         # live jobs; guarded by: _cond
+        self._latencies: deque[float] = deque(maxlen=512)  # guarded by: _cond
         self._ids = count(1)
-        self._closed = False
+        self._closed = False                     # guarded by: _cond
         self._server: RegistryServer | None = None
-        self.n_requeues = 0
-        self.n_hedges = 0          # speculative duplicates issued
-        self.n_hedge_discards = 0  # losing copies discarded (first reply won)
-        self.n_degraded = 0        # designs answered by degraded-local fallback
+        self.n_requeues = 0        # guarded by: _cond
+        self.n_hedges = 0          # speculative duplicates; guarded by: _cond
+        self.n_hedge_discards = 0  # losing copies dropped; guarded by: _cond
+        self.n_degraded = 0        # degraded-local answers; guarded by: _cond
         self._sync_pumps()  # static hosts get pumps before the first dispatch
         self._watcher = threading.Thread(target=self._watch,
                                          name="fleet-watcher", daemon=True)
@@ -641,6 +644,7 @@ class FleetCoordinator:
         """Control-plane metrics: queue depth, per-tenant rates, workers."""
         with self._cond:
             tenants = {}
+            engines = {}
             for name in self._order:
                 record = self._tenants[name]
                 engine = (record.engine_ref()
@@ -663,12 +667,7 @@ class FleetCoordinator:
                     "degraded_designs": record.n_degraded,
                 }
                 if engine is not None:
-                    hits = engine.n_cache_hits
-                    total = hits + engine.n_sim_calls
-                    entry["cache_hits"] = hits
-                    entry["cache_hit_rate"] = (round(hits / total, 4)
-                                               if total else 0.0)
-                    entry["engine_sims"] = engine.n_sim_calls
+                    engines[name] = engine
                 tenants[name] = entry
             workers = {address: {"chunks": pump.n_chunks,
                                  "sims": pump.n_sims,
@@ -678,16 +677,30 @@ class FleetCoordinator:
             queue_depth = sum(len(t.queue) for t in self._tenants.values())
             inflight = sum(t.inflight for t in self._tenants.values())
             latencies = sorted(self._latencies)
+            requeues = self.n_requeues
+            hedges = self.n_hedges
+            hedge_discards = self.n_hedge_discards
+            degraded_designs = self.n_degraded
+        # Engine counters come from each engine's own lock — taken *after*
+        # _cond is released so the two locks never nest.
+        for name, engine in engines.items():
+            counters = engine.counters_snapshot()
+            hits = counters["n_cache_hits"]
+            total = hits + counters["n_sim_calls"]
+            tenants[name]["cache_hits"] = hits
+            tenants[name]["cache_hit_rate"] = (round(hits / total, 4)
+                                               if total else 0.0)
+            tenants[name]["engine_sims"] = counters["n_sim_calls"]
         latency = {"n": len(latencies)}
         if latencies:
             latency["p50"] = round(float(np.percentile(latencies, 50)), 6)
             latency["p99"] = round(float(np.percentile(latencies, 99)), 6)
         return {"queue_depth": queue_depth, "inflight_chunks": inflight,
                 "n_workers": len(workers), "workers": workers,
-                "tenants": tenants, "requeues": self.n_requeues,
-                "hedges": self.n_hedges,
-                "hedge_discards": self.n_hedge_discards,
-                "degraded_designs": self.n_degraded,
+                "tenants": tenants, "requeues": requeues,
+                "hedges": hedges,
+                "hedge_discards": hedge_discards,
+                "degraded_designs": degraded_designs,
                 "chunk_latency": latency,
                 "registry": {"live": self.registry.live(),
                              "joins": self.registry.n_joins,
@@ -727,9 +740,10 @@ class FleetCoordinator:
         return False
 
     def __repr__(self) -> str:
-        return (f"FleetCoordinator(workers={len(self._pumps)}, "
-                f"tenants={len(self._tenants)}, "
-                f"closed={self._closed})")
+        with self._cond:
+            return (f"FleetCoordinator(workers={len(self._pumps)}, "
+                    f"tenants={len(self._tenants)}, "
+                    f"closed={self._closed})")
 
     # -- tenant dispatch ---------------------------------------------------
     def _dispatch(self, tenant: str, problem, token: bytes, X: np.ndarray):
@@ -757,6 +771,8 @@ class FleetCoordinator:
         # for ``degraded_after`` seconds.
         idle_since: float | None = None
         while not state.event.wait(0.1):
+            # Unlocked peek at the monotonic closed flag: a stale False only
+            # delays the abort by one 0.1 s poll tick.  # lint: disable=RP02
             if self._closed:
                 state.abort("fleet coordinator closed")
                 continue
@@ -836,7 +852,7 @@ class FleetCoordinator:
                     return job
                 self._cond.wait(0.1)
 
-    def _pick_locked(self, address: str | None = None) -> _Job | None:
+    def _pick_locked(self, address: str | None = None) -> _Job | None:  # holds: _cond
         """Weighted deficit round-robin over the queued tenants.
 
         Serving a chunk costs one credit; when no queued tenant can afford
@@ -1038,6 +1054,9 @@ class FleetCoordinator:
 
     # -- registry watcher --------------------------------------------------
     def _watch(self) -> None:
+        # Unlocked peek at the monotonic closed flag: close() joins this
+        # thread with a timeout, a stale read costs one poll interval at
+        # most.  # lint: disable=RP02
         while not self._closed:
             try:
                 self._sync_pumps()

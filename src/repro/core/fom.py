@@ -12,6 +12,8 @@ loss, Eq. 5) are provided — they compute the same function.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..nn import Tensor
@@ -29,7 +31,7 @@ def fom_normalized(Fn: np.ndarray, w0: float, weights: np.ndarray) -> np.ndarray
     return values
 
 
-def fom_from_raw(problem, F_raw: np.ndarray) -> np.ndarray:
+def fom_from_raw(problem: Any, F_raw: np.ndarray) -> np.ndarray:
     """FoM directly from raw performance rows of ``problem``."""
     Fn = np.atleast_2d(problem.normalize(F_raw))
     return fom_normalized(Fn, problem.objective.weight, problem.constraint_weights())

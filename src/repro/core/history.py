@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 import warnings
 from abc import ABC
+from typing import Any
 
 import numpy as np
 
@@ -60,7 +61,7 @@ class OptimizationHistory:
     warm start have ``n_warm == 0`` and behave exactly as before.
     """
 
-    def __init__(self, problem, optimizer_name: str, seed: int):
+    def __init__(self, problem: Any, optimizer_name: str, seed: int) -> None:
         self.problem = problem
         self.optimizer_name = optimizer_name
         self.seed = seed
@@ -212,7 +213,7 @@ class OptimizationHistory:
         }
 
     @classmethod
-    def from_dict(cls, problem, data: dict) -> "OptimizationHistory":
+    def from_dict(cls, problem: Any, data: dict) -> "OptimizationHistory":
         """Rebuild a history against a live ``problem`` instance.
 
         FoM and feasibility are *recomputed* from the stored raw rows (they
@@ -265,11 +266,11 @@ class Optimizer(ABC):
     queries, and raise :class:`BudgetExhausted` once the budget is spent.
     """
 
-    name = "optimizer"
+    name: str = "optimizer"
 
-    def __init__(self, problem, budget: int, seed: int = 0, *,
+    def __init__(self, problem: Any, budget: int, seed: int = 0, *,
                  stop_when_feasible: bool = False,
-                 engine: EvalEngine | None = None):
+                 engine: EvalEngine | None = None) -> None:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         self.problem = problem
@@ -367,7 +368,7 @@ class Optimizer(ABC):
             raise BudgetExhausted
         return F[:kept]
 
-    def timed_modeling(self):
+    def timed_modeling(self) -> "_ModelTimer":
         """Context manager adding elapsed wall-clock to modeling time."""
         return _ModelTimer(self.history)
 
@@ -403,13 +404,13 @@ class Optimizer(ABC):
 
 
 class _ModelTimer:
-    def __init__(self, history: OptimizationHistory):
+    def __init__(self, history: OptimizationHistory) -> None:
         self.history = history
 
-    def __enter__(self):
+    def __enter__(self) -> "_ModelTimer":
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         self.history.modeling_time += time.perf_counter() - self._start
         return False

@@ -87,6 +87,12 @@ Problems travel as pickles, so run workers only on hosts/networks you trust
 discover it instead of being configured with a static host list; with
 ``--cache-dir DIR`` the worker's serial engine answers repeated designs
 from its own persistent disk tier across restarts.
+
+The op table above is normative and declared once, machine-readably, in
+:mod:`repro.tools.protocol_schema`; rule **RP04** of the contract linter
+(``python -m repro.tools.lint src``, see README "Static analysis &
+contracts") cross-checks every literal frame and every handler dispatch in
+the tree against it, so adding an op starts in the schema module.
 """
 
 from __future__ import annotations
@@ -323,9 +329,9 @@ class MultiplexedConnection:
         self._lock = threading.Lock()        # pending table + broken flag
         self._send_lock = threading.Lock()   # one frame on the wire at a time
         self._v1_lock = threading.Lock()     # serialized mode for v1 peers
-        self._pending: dict[int, SimpleQueue] = {}
+        self._pending: dict[int, SimpleQueue] = {}   # guarded by: _lock
         self._ids = count(1)
-        self._broken: Exception | None = None
+        self._broken: Exception | None = None        # guarded by: _lock
         self._reader = None
         if self.protocol >= 2:
             self._reader = threading.Thread(
@@ -353,8 +359,12 @@ class MultiplexedConnection:
         """
         if not self.multiplexed:
             with self._v1_lock:
-                if self._broken is not None:
-                    raise ConnectionError(str(self._broken))
+                # _v1_lock only serializes the request/reply stream; the
+                # broken flag is owned by _lock so v1 callers and the v2
+                # reader/_fail path agree on it.
+                with self._lock:
+                    if self._broken is not None:
+                        raise ConnectionError(str(self._broken))
                 try:
                     self._sock.settimeout(timeout)
                     send_msg(self._sock, msg)
@@ -363,7 +373,9 @@ class MultiplexedConnection:
                     # The v1 stream is now desynced (a late reply would be
                     # matched to the *next* request), so the connection is
                     # done for — mark it broken before surfacing.
-                    self._broken = exc
+                    with self._lock:
+                        if self._broken is None:
+                            self._broken = exc
                     raise DeadlineExceeded(
                         f"{self.addr[0]}:{self.addr[1]}: no reply within "
                         f"{timeout:g}s (worker hung?)") from exc
@@ -445,8 +457,10 @@ class MultiplexedConnection:
 
     def __repr__(self) -> str:
         mode = "mux" if self.multiplexed else "v1"
+        with self._lock:
+            n_pending = len(self._pending)
         return (f"MultiplexedConnection({self.addr[0]}:{self.addr[1]}, {mode}, "
-                f"pending={len(self._pending)})")
+                f"pending={n_pending})")
 
 
 # ----------------------------------------------------------------------
@@ -480,6 +494,7 @@ class EvalWorkerServer:
         #                    so the first eval doesn't pay the import
         self._engine = EvalEngine("serial", cache_size=cache_size,
                                   cache_dir=cache_dir)
+        # guarded by: _problems_lock
         self._problems: "OrderedDict[str, object]" = OrderedDict()
         self._problems_lock = threading.Lock()
         self._eval_lock = threading.Lock()
@@ -559,8 +574,10 @@ class EvalWorkerServer:
     def _handle(self, msg: dict) -> dict:
         op = msg.get("op")
         if op == "hello":
+            with self._problems_lock:
+                n_problems = len(self._problems)
             return {"ok": True, "protocol": PROTOCOL_VERSION, "pid": os.getpid(),
-                    "problems": len(self._problems)}
+                    "problems": n_problems}
         if op == "put_problem":
             token = msg["token"]
             with self._problems_lock:
@@ -601,14 +618,16 @@ class EvalWorkerServer:
                 "n_sims": n_sims}
 
     def _stats(self) -> dict:
-        engine = self._engine
+        counters = self._engine.counters_snapshot()
+        with self._problems_lock:
+            n_problems = len(self._problems)
         return {"ok": True, "pid": os.getpid(),
-                "n_sims": engine.n_sim_calls,
-                "cache_hits": engine.n_cache_hits,
-                "disk_hits": engine.n_disk_hits,
-                "cache_entries": len(engine._cache),
-                "cache_dir": engine.cache_dir,
-                "problems": len(self._problems),
+                "n_sims": counters["n_sim_calls"],
+                "cache_hits": counters["n_cache_hits"],
+                "disk_hits": counters["n_disk_hits"],
+                "cache_entries": counters["cache_entries"],
+                "cache_dir": self._engine.cache_dir,
+                "problems": n_problems,
                 "uptime_s": round(time.monotonic() - self._started, 3)}
 
 
@@ -661,21 +680,21 @@ class RemoteDispatcher:
         self.chunk_timeout = (None if chunk_timeout is None
                               else float(chunk_timeout))
         self.degraded = degraded
-        self.n_degraded = 0  # designs answered by local fallback evaluation
+        self.n_degraded = 0  # local-fallback answers; guarded by: _lock
         self.max_chunk_requeues = (2 * len(self.addresses)
                                    if max_chunk_requeues is None
                                    else int(max_chunk_requeues))
-        self._conns: dict[tuple[str, int], MultiplexedConnection] = {}
-        self._conn_locks: dict[tuple[str, int], threading.Lock] = {}
-        self._shipped: dict[tuple[str, int], set[str]] = {}
-        self._closed = False
+        self._conns: dict[tuple[str, int], MultiplexedConnection] = {}  # guarded by: _lock
+        self._conn_locks: dict[tuple[str, int], threading.Lock] = {}    # guarded by: _lock
+        self._shipped: dict[tuple[str, int], set[str]] = {}             # guarded by: _lock
+        self._closed = False                                            # guarded by: _lock
         self._lock = threading.Lock()
 
     # -- connection management --------------------------------------------
     def _connection(self, addr: tuple[str, int]) -> MultiplexedConnection:
-        if self._closed:
-            raise ServiceError("remote dispatcher is closed")
         with self._lock:
+            if self._closed:
+                raise ServiceError("remote dispatcher is closed")
             conn = self._conns.get(addr)
             if conn is not None:
                 return conn
@@ -708,8 +727,8 @@ class RemoteDispatcher:
     def close(self) -> None:
         """Drop every connection; in-flight dispatches fail with
         :class:`ServiceError` instead of waiting on dead sockets."""
-        self._closed = True
         with self._lock:
+            self._closed = True
             addrs = list(self._conns)
         for addr in addrs:
             self._drop_connection(addr)
@@ -883,7 +902,9 @@ class RemoteDispatcher:
             # Every thread has exited (the last live host died mid-chunk,
             # or the dispatcher was closed) with rows still missing.
             detail = "; ".join(errors) if errors else "dispatcher closed"
-            if self.degraded == "local" and not self._closed:
+            with self._lock:
+                closed = self._closed
+            if self.degraded == "local" and not closed:
                 # Graceful degradation: finish the batch in-process rather
                 # than failing the Study.  Rows are the same deterministic
                 # problem.evaluate answers a worker's serial engine would
@@ -896,7 +917,9 @@ class RemoteDispatcher:
                     out[i] = np.asarray(problem.evaluate(X[i]),
                                         dtype=np.float64)
                 sims_total += len(missing)
-                with state_lock:
+                # Not state_lock: concurrent dispatches share this counter,
+                # so it lives under the dispatcher-wide lock.
+                with self._lock:
                     self.n_degraded += len(missing)
             else:
                 raise ServiceError(

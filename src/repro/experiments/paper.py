@@ -18,11 +18,9 @@ import numpy as np
 from ..baselines import BOwEI, GASPAD, DifferentialEvolution, SimulatedAnnealing
 from ..circuits import (
     CTLE,
-    FoldedCascodeOTA,
     InverterChain,
     LDORegulator,
     LevelShifter,
-    StrongArmLatch,
 )
 from ..core import DNNOpt
 from ..sensitivity import reduce_problem, sensitivity_analysis

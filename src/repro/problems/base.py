@@ -11,7 +11,7 @@ critic's training targets, and every optimizer in this package consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

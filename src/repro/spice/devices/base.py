@@ -45,6 +45,12 @@ iteration.  Device authors must uphold:
 Mutating a compiled circuit's device *values* (geometry, R/C/L, gains)
 invalidates the baked plan; add/remove devices through :class:`Circuit`,
 which recompiles, or rebuild the netlist.
+
+The affine/time-read/PSD clauses above are machine-checked: rule **RP03**
+of the contract linter (``python -m repro.tools.lint src``, see README
+"Static analysis & contracts") flags linear stamps that branch on ``x``,
+non-source reads of ``sys.time``/``sys.source_scale``, and scalar
+``math.*`` calls inside noise PSD closures.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ junction terms; noise is channel thermal noise ``4kT (2/3) gm`` plus
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

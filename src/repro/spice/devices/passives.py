@@ -8,7 +8,6 @@ companions) go through the generic per-step affine capture.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..units import parse_value
 from .base import TRAP_THETA, Device, DeviceIndex, NoiseSource

@@ -17,7 +17,7 @@ from .devices.controlled import CCCS, CCVS, VCCS, VCVS
 from .devices.diode import Diode
 from .devices.mosfet import MOSFET, MOSModel
 from .devices.passives import Capacitor, Inductor, Resistor
-from .devices.sources import CurrentSource, VoltageSource, Waveform
+from .devices.sources import CurrentSource, VoltageSource
 from .errors import NetlistError
 
 __all__ = ["Circuit", "CompiledCircuit", "GROUND_NAMES"]

@@ -18,7 +18,6 @@ import numpy as np
 
 from . import profile
 from .errors import ConvergenceError
-from .mna import System
 
 __all__ = ["NewtonResult", "newton_solve", "solve_dc"]
 

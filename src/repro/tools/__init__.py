@@ -1,0 +1,8 @@
+"""Developer tooling for the repo: static analysis and contract checks.
+
+Nothing in here is imported by the library at runtime; ``repro.tools`` is
+only reached explicitly (``python -m repro.tools.lint``) so that the
+science code never pays for tooling imports.
+"""
+
+__all__: list[str] = []

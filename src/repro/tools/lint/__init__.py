@@ -1,0 +1,337 @@
+"""Repo-contract linter: AST-based static analysis for ``src/``.
+
+Five checkers enforce the contracts that this repo's correctness rests on
+(see README "Static analysis & contracts"):
+
+========  ============================================================
+RP01      determinism: no global RNG state, wall-clock reads, ``id()``
+          or unordered-set iteration feeding results
+RP02      lock discipline: ``# guarded by: <lock>`` attributes accessed
+          only under ``with self.<lock>:`` or ``# holds: <lock>`` methods
+RP03      stamping-plan device contract (``spice/devices/base.py``)
+RP04      wire-protocol frame schema (``repro/tools/protocol_schema.py``)
+RP05      export hygiene: ``__all__`` consistency + runpy-clean entry
+          points
+========  ============================================================
+
+Run it with ``python -m repro.tools.lint [paths...]``; exit code 0 means
+clean, 1 means findings, 2 means usage error.  Waive a single line with
+``# lint: disable=RP0x`` (inline, or on a comment-only line immediately
+above).  Only the stdlib is used — the linter runs anywhere the repo does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+PARSE_ERROR = "RP00"
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_CODE_RE = re.compile(r"RP\d+")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Module:
+    """A parsed source file plus its comment/waiver side tables."""
+
+    def __init__(self, path: str, text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.text = text
+        self.tree = tree
+        self.lines = text.splitlines()
+        self.comments: dict[int, str] = {}
+        self._waived: dict[int, set[str]] = {}
+        self._scan_comments()
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    self.comments[tok.start[0]] = tok.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        for lineno, comment in self.comments.items():
+            match = _WAIVER_RE.search(comment)
+            if not match:
+                continue
+            codes = set(_CODE_RE.findall(match.group(1)))
+            if not codes:
+                continue
+            self._waived.setdefault(lineno, set()).update(codes)
+            # A comment-only line waives the next code line too.
+            src_line = (self.lines[lineno - 1]
+                        if lineno - 1 < len(self.lines) else "")
+            if src_line.lstrip().startswith("#"):
+                self._waived.setdefault(lineno + 1, set()).update(codes)
+
+    def comment_on(self, lineno: int) -> str:
+        """The comment on a physical line ('' when there is none)."""
+        return self.comments.get(lineno, "")
+
+    def is_comment_only(self, lineno: int) -> bool:
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        return self.lines[lineno - 1].lstrip().startswith("#")
+
+    def waived_codes(self, lineno: int) -> set[str]:
+        return self._waived.get(lineno, set())
+
+    def dotted_name(self) -> str:
+        """Best-effort dotted module name, derived from the file path.
+
+        ``src/repro/core/service.py`` -> ``repro.core.service``; a path
+        with no recognizable package root returns its stem.
+        """
+        parts = list(Path(self.path).with_suffix("").parts)
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1:]
+        elif "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        else:
+            parts = parts[-1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+class ImportMap:
+    """Resolves local names to canonical dotted paths via the import table.
+
+    ``import numpy as np`` maps ``np`` -> ``numpy``; ``from datetime import
+    datetime`` maps ``datetime`` -> ``datetime.datetime``; unresolved roots
+    pass through unchanged.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        root, _, rest = dotted.partition(".")
+        base = self.aliases.get(root, root)
+        return f"{base}.{rest}" if rest else base
+
+
+def dotted_of(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Context:
+    """Per-run shared state so rules can do cross-file checks."""
+
+    def __init__(self) -> None:
+        self.store: dict[str, object] = {}
+
+    def bucket(self, rule_code: str) -> dict:
+        return self.store.setdefault(rule_code, {})  # type: ignore[return-value]
+
+
+class Rule:
+    """Base class for a checker; subclasses set ``code``/``name``."""
+
+    code = "RP99"
+    name = "unnamed"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finalize(self, ctx: Context) -> Iterator[Finding]:
+        return iter(())
+
+
+def all_rules() -> list[Rule]:
+    from . import rp01, rp02, rp03, rp04, rp05
+
+    return [rp01.Determinism(), rp02.LockDiscipline(), rp03.DeviceContract(),
+            rp04.WireProtocol(), rp05.ExportHygiene()]
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding]
+    n_files: int
+    n_waived: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def _iter_py_files(paths: Iterable[str]) -> list[str]:
+    out: list[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(str(f) for f in sorted(p.rglob("*.py")))
+        else:
+            out.append(str(p))
+    return out
+
+
+def _selected(code: str, select: set[str] | None, ignore: set[str]) -> bool:
+    if code == PARSE_ERROR:
+        return True
+    if select is not None and code not in select:
+        return False
+    return code not in ignore
+
+
+def lint_modules(modules: list[Module], select: set[str] | None = None,
+                 ignore: set[str] | None = None,
+                 rules: list[Rule] | None = None) -> LintResult:
+    """Run the (selected) rules over already-parsed modules."""
+    ignore = ignore or set()
+    rules = rules if rules is not None else all_rules()
+    active = [r for r in rules if _selected(r.code, select, ignore)]
+    ctx = Context()
+    raw: list[Finding] = []
+    mod_by_path: dict[str, Module] = {}
+    for module in modules:
+        mod_by_path[module.path] = module
+        for rule in active:
+            raw.extend(rule.check(module, ctx))
+    for rule in active:
+        raw.extend(rule.finalize(ctx))
+
+    findings: list[Finding] = []
+    n_waived = 0
+    for f in raw:
+        mod = mod_by_path.get(f.path)
+        if mod is not None and f.rule in mod.waived_codes(f.line):
+            n_waived += 1
+            continue
+        findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(findings, len(modules), n_waived)
+
+
+def parse_module(path: str, text: str | None = None) -> Module | Finding:
+    """Parse one file; a syntax error comes back as an RP00 finding."""
+    if text is None:
+        text = Path(path).read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return Finding(PARSE_ERROR, path, exc.lineno or 1, exc.offset or 0,
+                       f"syntax error: {exc.msg}")
+    return Module(path, text, tree)
+
+
+def lint_paths(paths: Iterable[str], select: set[str] | None = None,
+               ignore: set[str] | None = None) -> LintResult:
+    modules: list[Module] = []
+    errors: list[Finding] = []
+    for path in _iter_py_files(paths):
+        parsed = parse_module(path)
+        if isinstance(parsed, Finding):
+            errors.append(parsed)
+        else:
+            modules.append(parsed)
+    result = lint_modules(modules, select=select, ignore=ignore)
+    result.findings = sorted(
+        errors + result.findings,
+        key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.n_files += len(errors)
+    return result
+
+
+def lint_text(text: str, path: str = "<memory>",
+              select: set[str] | None = None,
+              ignore: set[str] | None = None) -> LintResult:
+    """Lint a source string — the unit-test entry point."""
+    parsed = parse_module(path, text)
+    if isinstance(parsed, Finding):
+        return LintResult([parsed], 1, 0)
+    return lint_modules([parsed], select=select, ignore=ignore)
+
+
+def _parse_codes(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    return {tok.strip().upper() for tok in spec.split(",") if tok.strip()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="Repo-contract linter (rules RP01-RP05).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", metavar="CODES", default="",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+        return 0
+
+    result = lint_paths(args.paths, select=_parse_codes(args.select),
+                        ignore=_parse_codes(args.ignore) or set())
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "files": result.n_files,
+            "waived": result.n_waived,
+            "findings": [asdict(f) for f in result.findings],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (f"{len(result.findings)} finding(s) in {result.n_files} "
+                   f"file(s); {result.n_waived} waived")
+        print(summary if result.findings or result.n_waived
+              else f"clean: {result.n_files} file(s), 0 findings")
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""CLI entry: ``python -m repro.tools.lint [paths...]``."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

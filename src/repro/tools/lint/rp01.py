@@ -1,0 +1,119 @@
+"""RP01 — determinism: no hidden entropy or order-dependence in results.
+
+The repo's bit-identity guarantees (serial == remote == fleet histories,
+reproducible seeds) only hold if nothing reads ambient nondeterminism.
+Flagged anywhere outside a ``# lint: disable=RP01`` waiver:
+
+* global-state RNG calls (``np.random.rand``/``seed``/...,
+  ``random.random``/...) — seeded ``np.random.default_rng(seed)`` /
+  ``random.Random(seed)`` instances are the sanctioned idiom;
+* unseeded construction of those instances (``default_rng()`` with no
+  arguments);
+* wall-clock reads (``time.time``, ``datetime.now``, ...) — use
+  ``time.monotonic``/``perf_counter`` for intervals;
+* ``id(...)`` — CPython address reuse makes it run-dependent;
+* iterating an unordered ``set`` literal/constructor in a ``for`` or
+  comprehension — wrap in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from . import Context, Finding, ImportMap, Module, Rule, dotted_of
+
+#: np.random.<name> constructors that produce *seedable instances* — allowed.
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "BitGenerator",
+})
+
+#: random.<name> that are seedable-instance constructors, not global draws.
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_SET_MAKERS = frozenset({"set", "frozenset"})
+
+
+class Determinism(Rule):
+    code = "RP01"
+    name = "determinism"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, imports, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(module, imports, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._check_iter(module, imports, gen.iter)
+
+    def _check_call(self, module: Module, imports: ImportMap,
+                    node: ast.Call) -> Iterator[Finding]:
+        if isinstance(node.func, ast.Name) and node.func.id == "id":
+            yield self._finding(
+                module, node,
+                "id() is run-dependent (CPython address reuse); derive a "
+                "stable key instead")
+            return
+        dotted = dotted_of(node.func)
+        if dotted is None:
+            return
+        resolved = imports.resolve(dotted)
+        if resolved in _WALL_CLOCK:
+            yield self._finding(
+                module, node,
+                f"wall-clock read {resolved}(); use time.monotonic/"
+                "perf_counter for intervals or pass timestamps in")
+        elif resolved.startswith("numpy.random."):
+            tail = resolved.rsplit(".", 1)[1]
+            if tail not in _NP_RANDOM_OK:
+                yield self._finding(
+                    module, node,
+                    f"global-state RNG call {dotted}(); use a seeded "
+                    "np.random.default_rng(seed) instance")
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                yield self._finding(
+                    module, node,
+                    "unseeded np.random.default_rng(); pass an explicit seed")
+        elif resolved.startswith("random."):
+            tail = resolved.split(".", 1)[1]
+            if "." in tail:
+                return  # method on random.Random instance, e.g. random.Random.x
+            if tail not in _RANDOM_OK:
+                yield self._finding(
+                    module, node,
+                    f"global-state RNG call {dotted}(); use a seeded "
+                    "random.Random(seed) instance")
+            elif tail == "Random" and not node.args and not node.keywords:
+                yield self._finding(
+                    module, node,
+                    "unseeded random.Random(); pass an explicit seed")
+
+    def _check_iter(self, module: Module, imports: ImportMap,
+                    iter_node: ast.expr) -> Iterator[Finding]:
+        is_set = isinstance(iter_node, (ast.Set, ast.SetComp))
+        if (not is_set and isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id in _SET_MAKERS):
+            is_set = True
+        if is_set:
+            yield self._finding(
+                module, iter_node,
+                "iteration over an unordered set feeds results in "
+                "nondeterministic order; wrap in sorted(...)")
+
+    def _finding(self, module: Module, node: ast.AST,
+                 message: str) -> Finding:
+        return Finding(self.code, module.path, node.lineno,
+                       node.col_offset, message)

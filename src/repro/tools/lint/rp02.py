@@ -1,0 +1,156 @@
+"""RP02 — lock discipline via ``# guarded by:`` annotations.
+
+Convention (used throughout ``repro.core``): an attribute assignment in
+``__init__`` carries ``# guarded by: <lockname>`` naming the ``self.<lock>``
+(Lock/RLock/Condition) that protects it.  The checker then flags every
+read or write of ``self.<attr>`` in any *other* method of the class that
+is not
+
+* lexically inside ``with self.<lockname>:`` (Condition objects count), or
+* in a method annotated ``# holds: <lockname>`` on (or directly above) its
+  ``def`` line — the called-with-lock-held convention, or
+* explicitly waived with ``# lint: disable=RP02`` plus a why-comment.
+
+``__init__`` itself is exempt (object construction happens-before any
+concurrent access).  A function *defined* inside a ``with`` block does not
+inherit the lock — closures run later, after the lock is released.
+
+Known limitation: only direct ``self.<attr>`` accesses are checked; an
+alias (``cache = self._cache``) escapes, as does access through another
+object (``other._cache``).  Keep guarded state access un-aliased.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+import ast
+
+from . import Context, Finding, Module, Rule
+
+_GUARD_RE = re.compile(r"#.*?guarded by:\s*([A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"#.*?holds:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)")
+
+
+def _guard_on(module: Module, lineno: int) -> str | None:
+    """Lock name annotated on this line, or on a comment-only line above."""
+    match = _GUARD_RE.search(module.comment_on(lineno))
+    if match:
+        return match.group(1)
+    if module.is_comment_only(lineno - 1):
+        match = _GUARD_RE.search(module.comment_on(lineno - 1))
+        if match:
+            return match.group(1)
+    return None
+
+
+def _holds_on(module: Module, fn: ast.FunctionDef) -> set[str]:
+    """Locks a method declares it is called with (``# holds: ...``).
+
+    The annotation may sit on the line above ``def`` or on any signature
+    line (multi-line signatures put it on the closing-paren line).
+    """
+    held: set[str] = set()
+    body_start = fn.body[0].lineno if fn.body else fn.lineno + 1
+    for lineno in range(fn.lineno - 1, body_start):
+        match = _HOLDS_RE.search(module.comment_on(lineno))
+        if match:
+            held.update(name.strip() for name in match.group(1).split(","))
+    return held
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name) and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class LockDiscipline(Rule):
+    code = "RP02"
+    name = "lock-discipline"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        guarded = self._collect_guards(module, cls)
+        if not guarded:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue
+            holds = _holds_on(module, stmt)
+            yield from self._walk_fn(module, stmt, guarded, holds)
+
+    def _collect_guards(self, module: Module,
+                        cls: ast.ClassDef) -> dict[str, str]:
+        """attr -> lock name, from annotations on ``self.x = ...`` lines."""
+        guarded: dict[str, str] = {}
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(fn):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    lock = _guard_on(module, node.lineno)
+                    if lock is not None:
+                        guarded[attr] = lock
+        return guarded
+
+    def _walk_fn(self, module: Module, fn: ast.AST, guarded: dict[str, str],
+                 holds: set[str]) -> Iterator[Finding]:
+        """Visit a function body tracking which locks are lexically held."""
+
+        def visit(node: ast.AST, held: frozenset[str]) -> Iterator[Finding]:
+            if isinstance(node, ast.With):
+                acquired = set(held)
+                for item in node.items:
+                    lock_attr = _self_attr(item.context_expr)
+                    if lock_attr is not None:
+                        acquired.add(lock_attr)
+                    # The with-header expression itself runs unlocked.
+                    yield from visit(item.context_expr, held)
+                    if item.optional_vars is not None:
+                        yield from visit(item.optional_vars, held)
+                inner = frozenset(acquired)
+                for stmt in node.body:
+                    yield from visit(stmt, inner)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def runs later: it holds nothing unless annotated.
+                nested_holds = _holds_on(module, node)
+                for child in node.body:
+                    yield from visit(child, frozenset(nested_holds))
+                return
+            if isinstance(node, ast.Lambda):
+                yield from visit(node.body, frozenset())
+                return
+            attr = _self_attr(node)
+            if attr is not None and attr in guarded:
+                lock = guarded[attr]
+                if lock not in held:
+                    yield Finding(
+                        self.code, module.path, node.lineno, node.col_offset,
+                        f"access to self.{attr} (guarded by {lock}) outside "
+                        f"'with self.{lock}:'; annotate the method with "
+                        f"'# holds: {lock}' if callers lock")
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, held)
+
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for stmt in fn.body:
+            yield from visit(stmt, frozenset(holds))

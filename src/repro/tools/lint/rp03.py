@@ -1,0 +1,152 @@
+"""RP03 — the stamping-plan device contract (``spice/devices/base.py``).
+
+A class that defines ``stamp_static`` and does not declare
+``nonlinear = True`` has promised the solver an *affine* stamp: constant
+Jacobian, no Newton iteration.  Reading the state vector ``x`` linearly is
+fine; *branching* on it (``if``/``while``/ternary tests, comparisons)
+breaks the promise silently — the plan caches the stamp once and the
+branch never re-evaluates.
+
+Two further clauses from the same contract:
+
+* only source devices (``VoltageSource``/``CurrentSource``) may read
+  ``sys.time``/``sys.source_scale`` — any other device reading them would
+  make cached static stamps time-dependent;
+* ``NoiseSource.psd`` callbacks must broadcast over an ndarray frequency
+  grid, so scalar-only ``math.*`` calls inside psd closures defined in
+  ``noise_sources`` are flagged (hoist scalar prefactors out of the
+  closure, or use ``np.*``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from . import Context, Finding, ImportMap, Module, Rule, dotted_of
+
+#: Class names allowed to read sys.time / sys.source_scale in stamps.
+SOURCE_CLASSES = frozenset({"VoltageSource", "CurrentSource"})
+
+_TIME_ATTRS = frozenset({"time", "source_scale"})
+
+
+def _arg_names(fn: ast.FunctionDef) -> list[str]:
+    return [a.arg for a in fn.args.posonlyargs + fn.args.args]
+
+
+def _contains_name(node: ast.AST, name: str) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == name
+               for n in ast.walk(node))
+
+
+class DeviceContract(Rule):
+    code = "RP03"
+    name = "device-contract"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, imports, node)
+
+    def _check_class(self, module: Module, imports: ImportMap,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        stamp = None
+        nonlinear = False
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "stamp_static":
+                stamp = stmt
+            if (isinstance(stmt, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "nonlinear"
+                            for t in stmt.targets)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is True):
+                nonlinear = True
+        if stamp is None:
+            # Not a stamping device class; psd hygiene still applies below.
+            yield from self._check_noise(module, imports, cls)
+            return
+
+        args = _arg_names(stamp)
+        sys_name = args[1] if len(args) > 1 else None
+        x_name = args[2] if len(args) > 2 else None
+
+        if not nonlinear and x_name is not None:
+            yield from self._check_affine(module, stamp, x_name)
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.FunctionDef)
+                    and stmt.name.startswith("stamp")
+                    and cls.name not in SOURCE_CLASSES):
+                method_args = _arg_names(stmt)
+                sysn = method_args[1] if len(method_args) > 1 else sys_name
+                if sysn is not None:
+                    yield from self._check_time_reads(module, stmt, sysn)
+        yield from self._check_noise(module, imports, cls)
+
+    def _check_affine(self, module: Module, stamp: ast.FunctionDef,
+                      x_name: str) -> Iterator[Finding]:
+        tests: list[ast.expr] = []
+        for node in ast.walk(stamp):
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                tests.append(node.test)
+            elif isinstance(node, (ast.Compare, ast.BoolOp)):
+                tests.append(node)
+        seen: set[tuple[int, int]] = set()
+        for test in tests:
+            where = (test.lineno, test.col_offset)
+            if where in seen:
+                continue
+            seen.add(where)
+            if _contains_name(test, x_name):
+                yield Finding(
+                    self.code, module.path, test.lineno, test.col_offset,
+                    f"stamp_static of a linear (nonlinear=False) device "
+                    f"branches on '{x_name}'; declare nonlinear = True or "
+                    f"make the stamp affine")
+
+    def _check_time_reads(self, module: Module, stamp: ast.FunctionDef,
+                          sys_name: str) -> Iterator[Finding]:
+        for node in ast.walk(stamp):
+            if (isinstance(node, ast.Attribute) and node.attr in _TIME_ATTRS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == sys_name):
+                yield Finding(
+                    self.code, module.path, node.lineno, node.col_offset,
+                    f"non-source device reads {sys_name}.{node.attr}; only "
+                    f"{'/'.join(sorted(SOURCE_CLASSES))} may depend on "
+                    f"sweep time / source ramp")
+
+    def _check_noise(self, module: Module, imports: ImportMap,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "noise_sources"):
+                yield from self._check_psd_closures(module, imports, stmt)
+
+    def _check_psd_closures(self, module: Module, imports: ImportMap,
+                            fn: ast.FunctionDef) -> Iterator[Finding]:
+        # math.* is fine in the noise_sources body itself (runs once,
+        # produces captured scalars); inside the psd closure it runs per
+        # frequency grid and silently rejects ndarrays.
+        for node in ast.walk(fn):
+            inner = None
+            if isinstance(node, ast.FunctionDef) and node is not fn:
+                inner = node
+            elif isinstance(node, ast.Lambda):
+                inner = node
+            if inner is None:
+                continue
+            for call in ast.walk(inner):
+                if not isinstance(call, ast.Call):
+                    continue
+                dotted = dotted_of(call.func)
+                if dotted is None:
+                    continue
+                if imports.resolve(dotted).startswith("math."):
+                    yield Finding(
+                        self.code, module.path, call.lineno, call.col_offset,
+                        f"scalar-only {dotted}() inside a noise PSD closure; "
+                        f"use the np.* equivalent so psd(freq) broadcasts "
+                        f"over an ndarray grid")

@@ -1,0 +1,154 @@
+"""RP04 — wire-protocol frames must match ``repro.tools.protocol_schema``.
+
+Checks three things across the linted tree:
+
+* every **literal frame construction** — a dict literal whose ``"op"`` key
+  is a string constant, wherever it feeds ``send_msg``/``conn.request`` —
+  names a declared op and carries that op's required keys (a ``**splat``
+  in the literal suppresses the required-key check for that site);
+* every **handler dispatch** — a comparison of the conventional ``op``
+  variable (or ``msg.get("op")``) against string constants — names
+  declared ops only;
+* cross-file, when the linted tree contains both senders and handlers:
+  every op sent has a handler, and every handled op has an in-tree sender
+  unless the schema marks it ``external`` (CLI/operator-driven ops such as
+  ``shutdown``).
+
+Adding an op therefore starts in ``protocol_schema.py`` — the schema is
+transcribed from the normative spec in the ``service.py`` docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from ..protocol_schema import OPS
+from . import Context, Finding, Module, Rule
+
+_OP_KEY = "op"
+
+
+def _is_get_op(node: ast.AST) -> bool:
+    """True for ``<expr>.get("op")`` / ``<expr>.get("op", default)``."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and len(node.args) >= 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == _OP_KEY)
+
+
+def _is_op_expr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Name) and node.id == _OP_KEY) or _is_get_op(node)
+
+
+def _str_constants(node: ast.AST) -> list[ast.Constant]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return [el for el in node.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)]
+    return []
+
+
+class WireProtocol(Rule):
+    code = "RP04"
+    name = "wire-protocol"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        bucket = ctx.bucket(self.code)
+        sent = bucket.setdefault("sent", {})        # op -> (path, line)
+        handled = bucket.setdefault("handled", {})  # op -> (path, line)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                yield from self._check_frame(module, node, sent)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_dispatch(module, node, handled)
+
+    def _check_frame(self, module: Module, node: ast.Dict,
+                     sent: dict) -> Iterator[Finding]:
+        op_name = None
+        literal_keys: set[str] = set()
+        has_splat = False
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                has_splat = True
+                continue
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                literal_keys.add(key.value)
+                if (key.value == _OP_KEY and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    op_name = value.value
+        if op_name is None:
+            return
+        spec = OPS.get(op_name)
+        if spec is None:
+            yield Finding(
+                self.code, module.path, node.lineno, node.col_offset,
+                f"frame uses undeclared op '{op_name}'; declare it in "
+                f"repro/tools/protocol_schema.py first")
+            return
+        sent.setdefault(op_name, (module.path, node.lineno))
+        if not has_splat:
+            missing = sorted(set(spec.required) - literal_keys)
+            if missing:
+                yield Finding(
+                    self.code, module.path, node.lineno, node.col_offset,
+                    f"frame for op '{op_name}' is missing required "
+                    f"key(s) {missing}")
+
+    def _check_dispatch(self, module: Module, node: ast.Compare,
+                        handled: dict) -> Iterator[Finding]:
+        sides: list[ast.AST] = []
+        if _is_op_expr(node.left):
+            sides = list(node.comparators)
+        elif any(_is_op_expr(comp) for comp in node.comparators):
+            sides = [node.left]
+        for side in sides:
+            for const in _str_constants(side):
+                op_name = const.value
+                if op_name in OPS:
+                    handled.setdefault(op_name, (module.path, node.lineno))
+                else:
+                    yield Finding(
+                        self.code, module.path, node.lineno, node.col_offset,
+                        f"handler dispatches on undeclared op '{op_name}'; "
+                        f"declare it in repro/tools/protocol_schema.py")
+
+    def finalize(self, ctx: Context) -> Iterator[Finding]:
+        bucket = ctx.bucket(self.code)
+        sent: dict = bucket.get("sent", {})
+        handled: dict = bucket.get("handled", {})
+        if not sent or not handled:
+            # Partial tree (e.g. a single fixture file): the cross-check
+            # needs both sides of the protocol to be meaningful.
+            return
+        # Which server roles does the linted tree actually contain?  An op
+        # handled by exactly one role proves that role's server is present;
+        # sent-op checks are then limited to present roles, and the
+        # reverse (handled-but-unsent) check only runs on a whole tree —
+        # a single module is never a protocol hole by itself.
+        present_roles: set[str] = set()
+        for op_name in handled:
+            roles = OPS[op_name].roles
+            if len(roles) == 1:
+                present_roles.add(roles[0])
+        whole_tree = {"worker", "registry"} <= present_roles
+        for op_name, (path, line) in sorted(sent.items()):
+            if (op_name not in handled
+                    and set(OPS[op_name].roles) & present_roles):
+                yield Finding(
+                    self.code, path, line, 0,
+                    f"op '{op_name}' is sent but no handler in the linted "
+                    f"tree dispatches on it")
+        if not whole_tree:
+            return
+        for op_name, (path, line) in sorted(handled.items()):
+            if op_name not in sent and not OPS[op_name].external:
+                yield Finding(
+                    self.code, path, line, 0,
+                    f"op '{op_name}' is handled but never sent in the "
+                    f"linted tree (mark it external in protocol_schema.py "
+                    f"if out-of-tree clients drive it)")

@@ -1,0 +1,165 @@
+"""RP05 — export hygiene: honest ``__all__`` and runpy-clean entry points.
+
+* Every name in a module's ``__all__`` must be bound at module top level
+  *or* resolvable by a module-level ``__getattr__`` (the lazy-export idiom
+  ``repro.core`` uses so ``python -m repro.core.service`` does not import
+  the service module twice).  A string constant inside ``__getattr__``
+  counts as lazily resolvable.
+* A module with an ``if __name__ == "__main__":`` block is an entry point:
+  it must not import heavyweight subsystems at top level (keep startup
+  cheap and side-effect free), and — cross-file — its package
+  ``__init__`` must not import it eagerly (runpy would warn and run a
+  second copy).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import ast
+
+from . import Context, Finding, Module, Rule
+
+#: Top-level imports an entry-point module must defer (heavy subsystems).
+HEAVY_PREFIXES = ("repro.spice", "repro.circuits", "repro.experiments",
+                  "repro.nn", "repro.gp", "repro.baselines", "scipy",
+                  "matplotlib")
+
+
+def _is_main_guard(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.If) or not isinstance(stmt.test, ast.Compare):
+        return False
+    test = stmt.test
+    names = [n.id for n in ast.walk(test) if isinstance(n, ast.Name)]
+    consts = [c.value for c in ast.walk(test) if isinstance(c, ast.Constant)]
+    return "__name__" in names and "__main__" in consts
+
+
+def _top_level_stmts(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module statements, descending into top-level if/try (but not defs)."""
+    stack = list(tree.body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body + stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body + stmt.orelse + stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)
+
+
+def _resolve_import(module: Module, node: ast.stmt) -> list[tuple[str, int]]:
+    """Absolute dotted module names imported by a top-level import stmt."""
+    out: list[tuple[str, int]] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            out.append((alias.name, node.lineno))
+    elif isinstance(node, ast.ImportFrom):
+        dotted = module.dotted_name()
+        package = dotted.rsplit(".", 1)[0] if "." in dotted else dotted
+        if node.level:
+            base_parts = package.split(".")
+            # level=1 is the module's own package; each extra level pops one.
+            base_parts = base_parts[:len(base_parts) - (node.level - 1)]
+            base = ".".join(p for p in base_parts if p)
+        else:
+            base = ""
+        stem = node.module or ""
+        prefix = ".".join(p for p in (base, stem) if p)
+        if node.module:
+            out.append((prefix, node.lineno))
+        for alias in node.names:
+            if alias.name != "*":
+                out.append((f"{prefix}.{alias.name}" if prefix else alias.name,
+                            node.lineno))
+    return out
+
+
+class ExportHygiene(Rule):
+    code = "RP05"
+    name = "export-hygiene"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        bucket = ctx.bucket(self.code)
+        entries = bucket.setdefault("entry_points", set())
+        imports = bucket.setdefault("imports", {})  # dotted -> [(imported, path, line)]
+
+        bound: set[str] = set()
+        lazy: set[str] = set()
+        all_node: ast.expr | None = None
+        all_line = 0
+        is_entry = False
+        top_imports: list[tuple[str, int]] = []
+
+        for stmt in _top_level_stmts(module.tree):
+            if _is_main_guard(stmt):
+                is_entry = True
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                top_imports.extend(_resolve_import(module, stmt))
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        local = alias.asname or alias.name.split(".")[0]
+                        bound.add(local)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(stmt.name)
+                if stmt.name == "__getattr__":
+                    lazy.update(
+                        c.value for c in ast.walk(stmt)
+                        if isinstance(c, ast.Constant)
+                        and isinstance(c.value, str))
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                        if target.id == "__all__":
+                            all_node, all_line = stmt.value, stmt.lineno
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+                    if stmt.target.id == "__all__":
+                        all_node, all_line = stmt.value, stmt.lineno
+
+        dotted = module.dotted_name()
+        if is_entry:
+            entries.add(dotted)
+        imports[dotted] = [(name, module.path, line)
+                           for name, line in top_imports]
+
+        if all_node is not None and isinstance(all_node, (ast.List, ast.Tuple)):
+            for el in all_node.elts:
+                if not (isinstance(el, ast.Constant)
+                        and isinstance(el.value, str)):
+                    continue
+                if el.value not in bound and el.value not in lazy:
+                    yield Finding(
+                        self.code, module.path, all_line, 0,
+                        f"__all__ exports '{el.value}' but the module "
+                        f"neither binds it nor resolves it in __getattr__")
+
+        if is_entry:
+            for name, line in top_imports:
+                if any(name == p or name.startswith(p + ".")
+                       for p in HEAVY_PREFIXES):
+                    yield Finding(
+                        self.code, module.path, line, 0,
+                        f"entry-point module imports '{name}' at top level; "
+                        f"defer heavy imports into main()/handlers to keep "
+                        f"python -m startup runpy-clean")
+
+    def finalize(self, ctx: Context) -> Iterator[Finding]:
+        bucket = ctx.bucket(self.code)
+        entries: set[str] = bucket.get("entry_points", set())
+        imports: dict = bucket.get("imports", {})
+        for entry in sorted(entries):
+            if "." not in entry:
+                continue
+            package = entry.rsplit(".", 1)[0]
+            for name, path, line in imports.get(package, ()):
+                if name == entry or name.startswith(entry + "."):
+                    yield Finding(
+                        self.code, path, line, 0,
+                        f"package __init__ eagerly imports entry-point "
+                        f"module '{entry}'; python -m would run a second "
+                        f"copy — resolve it lazily via __getattr__")

@@ -1,0 +1,22 @@
+"""RP01 bad fixture: one of every determinism violation the rule knows.
+
+Never imported — parsed by tests/tools/test_lint.py and the CI lint job.
+"""
+import random
+import time
+
+import numpy as np
+
+
+def entropy_soup():
+    a = np.random.rand(3)           # global-state RNG draw
+    np.random.seed(0)               # global-state RNG reseed
+    rng = np.random.default_rng()   # unseeded instance
+    r = random.random()             # global-state RNG draw
+    u = random.Random()             # unseeded instance
+    t = time.time()                 # wall-clock read
+    k = id(a)                       # address-dependent key
+    out = [v for v in {1, 2, 3}]    # set iteration in a comprehension
+    for item in set([r, t]):        # set() iteration in a for loop
+        k += item
+    return a, rng, u, out, k

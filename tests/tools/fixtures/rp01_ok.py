@@ -1,0 +1,15 @@
+"""RP01 ok fixture: the sanctioned determinism idioms."""
+import random
+import time
+
+import numpy as np
+
+
+def disciplined(seed: int):
+    rng = np.random.default_rng(seed)   # seeded instance
+    r = random.Random(seed)             # seeded instance
+    t0 = time.perf_counter()            # interval clock, not wall clock
+    dt = time.monotonic() - t0
+    for item in sorted({3, 1, 2}):      # ordered before iteration
+        dt += item
+    return rng.standard_normal(4), r.random(), dt

@@ -1,0 +1,21 @@
+"""RP02 bad fixture: guarded attribute touched without its lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  # guarded by: _lock
+
+    def bump(self):
+        self.n += 1          # BAD: no lock held, no holds annotation
+
+    def peek(self):
+        with self._lock:
+            return self.n    # fine: lexically under the lock
+
+    def deferred(self):
+        with self._lock:
+            def later():
+                return self.n    # BAD: closure runs after release
+            return later

@@ -1,0 +1,20 @@
+"""RP02 ok fixture: every guarded access locked or holds-annotated."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  # guarded by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.n += 1
+
+    def _bump_locked(self):  # holds: _lock
+        self.n += 1
+
+    def bump_twice(self):
+        with self._lock:
+            self._bump_locked()
+            self._bump_locked()

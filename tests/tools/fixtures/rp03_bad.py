@@ -1,0 +1,18 @@
+"""RP03 bad fixture: a 'linear' device breaking all three contract clauses."""
+import math
+
+
+class LeakyResistor:
+    nonlinear = False
+
+    def stamp_static(self, sys, x, idx):
+        g = 1.0
+        if x[idx] > 0.5:        # BAD: branches on x in an affine stamp
+            g = 2.0
+        t = sys.time            # BAD: non-source reads sweep time
+        return g + t
+
+    def noise_sources(self, xop, idx):
+        def psd(freq):
+            return 1.0 / math.sqrt(freq)   # BAD: scalar math in psd closure
+        return [psd]

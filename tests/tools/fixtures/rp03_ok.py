@@ -1,0 +1,32 @@
+"""RP03 ok fixture: contract-conforming devices."""
+import math
+
+import numpy as np
+
+
+class LinearResistor:
+    def stamp_static(self, sys, x, idx):
+        return x[idx] * 2.0     # linear *read* of x is fine
+
+
+class Diode:
+    nonlinear = True
+
+    def stamp_static(self, sys, x, idx):
+        if x[idx] > 0.5:        # fine: declared nonlinear
+            return 1.0
+        return 0.0
+
+
+class VoltageSource:
+    def stamp_static(self, sys, x, idx):
+        return sys.time * sys.source_scale   # fine: source class
+
+
+class NoisyResistor:
+    def noise_sources(self, xop, idx):
+        prefactor = math.sqrt(2.0)           # fine: runs once in the body
+
+        def psd(freq):
+            return prefactor / np.sqrt(freq)   # fine: np broadcasts
+        return [psd]

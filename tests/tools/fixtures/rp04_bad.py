@@ -1,0 +1,15 @@
+"""RP04 bad fixture: undeclared ops and a frame missing a required key."""
+
+
+def send(conn):
+    conn.request({"op": "teleport", "id": 7})      # BAD: undeclared op
+    conn.request({"op": "eval", "token": "t"})     # BAD: missing "X"
+
+
+def handle(msg):
+    op = msg.get("op")
+    if op == "frobnicate":                         # BAD: undeclared in dispatch
+        return {"ok": True}
+    if op == "eval":
+        return {"ok": True}
+    return {"ok": False}

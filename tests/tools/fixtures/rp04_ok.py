@@ -1,0 +1,17 @@
+"""RP04 ok fixture: declared ops with their required keys, both sides."""
+
+
+def send(conn):
+    conn.request({"op": "eval", "token": "t", "X": [1.0], "id": 3})
+    conn.request({"op": "put_problem", "token": "t", "blob": "..."})
+
+
+def forward(conn, extra):
+    conn.request({"op": "eval", **extra})   # splat suppresses the key check
+
+
+def handle(msg):
+    op = msg.get("op", "")
+    if op in ("eval", "put_problem"):
+        return {"ok": True}
+    return {"ok": False}

@@ -1,0 +1,12 @@
+"""RP05 bad fixture: phantom export + heavy import in an entry point."""
+import scipy.linalg
+
+__all__ = ["solve", "does_not_exist"]
+
+
+def solve():
+    return scipy.linalg
+
+
+if __name__ == "__main__":
+    solve()

@@ -1,0 +1,18 @@
+"""RP05 ok fixture: honest __all__ with a lazy heavy import."""
+
+__all__ = ["solve", "heavy_helper"]
+
+
+def solve():
+    return 0
+
+
+def __getattr__(name):
+    if name == "heavy_helper":
+        from scipy import linalg
+        return linalg
+    raise AttributeError(name)
+
+
+if __name__ == "__main__":
+    solve()

@@ -1,0 +1,158 @@
+"""Self-tests for the repo-contract linter (``repro.tools.lint``).
+
+Each rule has a bad/ok fixture pair under ``fixtures/``; the bad one must
+trip its rule (and only via that rule when ``--select``-ed), the ok one
+must be clean under the *full* rule set — CI runs the CLI over both and
+gates on the exit codes.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import lint_paths, lint_text, main
+from repro.tools.protocol_schema import OPS, PROTOCOL_VERSION, UNIVERSAL_KEYS
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+RULES = ("RP01", "RP02", "RP03", "RP04", "RP05")
+
+EXPECTED_BAD_COUNTS = {"RP01": 9, "RP02": 2, "RP03": 3, "RP04": 3, "RP05": 2}
+
+
+def _fixture(rule: str, kind: str) -> str:
+    return str(FIXTURES / f"{rule.lower()}_{kind}.py")
+
+
+# ---------------------------------------------------------------- fixtures
+
+@pytest.mark.parametrize("rule", RULES)
+def test_bad_fixture_trips_its_rule(rule):
+    result = lint_paths([_fixture(rule, "bad")], select={rule})
+    assert len(result.findings) == EXPECTED_BAD_COUNTS[rule]
+    assert {f.rule for f in result.findings} == {rule}
+    assert result.exit_code == 1
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_ok_fixture_clean_under_all_rules(rule):
+    result = lint_paths([_fixture(rule, "ok")])
+    assert result.findings == []
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_cli_exit_codes_match_fixture_kind(rule, capsys):
+    assert main([_fixture(rule, "bad")]) == 1
+    assert main([_fixture(rule, "ok")]) == 0
+    capsys.readouterr()
+
+
+def test_findings_carry_locations_and_messages():
+    result = lint_paths([_fixture("RP01", "bad")], select={"RP01"})
+    f = result.findings[0]
+    assert f.path.endswith("rp01_bad.py")
+    assert f.line > 0
+    assert "np.random" in f.message
+    assert f.render().startswith(f.path)
+
+
+# ----------------------------------------------------------------- waivers
+
+def test_inline_waiver_suppresses_and_counts():
+    dirty = "k = id(object())\n"
+    assert len(lint_text(dirty).findings) == 1
+    waived = "k = id(object())  # lint: disable=RP01\n"
+    result = lint_text(waived)
+    assert result.findings == []
+    assert result.n_waived == 1
+
+
+def test_comment_line_waiver_covers_next_line():
+    text = ("# identity key is fine here, see docs\n"
+            "# lint: disable=RP01\n"
+            "k = id(object())\n")
+    result = lint_text(text)
+    assert result.findings == []
+    assert result.n_waived == 1
+
+
+def test_waiver_is_code_specific():
+    text = "k = id(object())  # lint: disable=RP02\n"
+    result = lint_text(text)
+    assert [f.rule for f in result.findings] == ["RP01"]
+    assert result.n_waived == 0
+
+
+def test_waiver_accepts_multiple_codes():
+    text = "k = id(object())  # lint: disable=RP02,RP01\n"
+    assert lint_text(text).findings == []
+
+
+# ----------------------------------------------------------- select/ignore
+
+def test_select_and_ignore():
+    text = ("import time\n"
+            "__all__ = [\"ghost\"]\n"
+            "t = time.time()\n")
+    both = lint_text(text)
+    assert {f.rule for f in both.findings} == {"RP01", "RP05"}
+    only01 = lint_text(text, select={"RP01"})
+    assert {f.rule for f in only01.findings} == {"RP01"}
+    no01 = lint_text(text, ignore={"RP01"})
+    assert {f.rule for f in no01.findings} == {"RP05"}
+
+
+def test_syntax_error_is_rp00_and_always_reported():
+    result = lint_text("def broken(:\n", select={"RP05"})
+    assert [f.rule for f in result.findings] == ["RP00"]
+    assert result.exit_code == 1
+
+
+# -------------------------------------------------------------------- CLI
+
+def test_json_output_shape(capsys):
+    code = main(["--format", "json", _fixture("RP03", "bad")])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == 1
+    assert payload["files"] == 1
+    assert payload["waived"] == 0
+    assert len(payload["findings"]) == EXPECTED_BAD_COUNTS["RP03"]
+    for entry in payload["findings"]:
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+        assert entry["rule"] == "RP03"
+
+
+def test_cli_select_ignore_and_list_rules(capsys):
+    assert main(["--select", "RP02", _fixture("RP01", "bad")]) == 0
+    assert main(["--ignore", "RP01", _fixture("RP01", "bad")]) == 0
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+# ------------------------------------------------------------------ schema
+
+def test_protocol_schema_is_well_formed():
+    assert PROTOCOL_VERSION == 2
+    assert UNIVERSAL_KEYS == {"op", "id"}
+    for name, spec in OPS.items():
+        assert spec.name == name
+        assert set(spec.roles) <= {"worker", "registry"}
+        assert all(isinstance(k, str) for k in spec.required)
+    # The ops the service/fleet layers actually speak must stay declared.
+    assert {"hello", "put_problem", "eval", "stats", "shutdown",
+            "register", "heartbeat", "deregister", "workers"} <= set(OPS)
+
+
+# ------------------------------------------------------------------- smoke
+
+def test_src_tree_is_clean():
+    result = lint_paths([str(SRC)])
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+    assert result.n_files > 50
+    assert result.n_waived > 0  # the documented waivers in engine/tensor/fleet
