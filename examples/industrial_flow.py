@@ -7,16 +7,30 @@
    simulations — the Table V protocol — and compare with the SA baseline.
 
     python examples/industrial_flow.py
+
+``--corners`` instead runs the chained sign-off flow: the Table V
+stop-when-feasible protocol staged over progressively tighter spec sets,
+every stage optimized *worst-case over the four PVT sign-off corners*
+(:class:`repro.scenarios.CornerProblem`), with each stage warm-started
+from the previous stage's archive (:class:`repro.core.WarmStart`).
+
+    python examples/industrial_flow.py --corners
 """
+
+import argparse
+import copy
+from dataclasses import replace
 
 import numpy as np
 
 from repro.baselines import SimulatedAnnealing
 from repro.circuits import LDORegulator
-from repro.core import DNNOpt
+from repro.core import DNNOpt, EvalEngine, Study, WarmStart
+from repro.scenarios import CornerProblem, ScenarioSet
 from repro.sensitivity import reduce_problem, sensitivity_analysis
 
-if __name__ == "__main__":
+
+def nominal_flow():
     circuit = LDORegulator()
     problem = circuit.problem()
     nominal = np.array([circuit.nominal()[name] for name in problem.space.names])
@@ -57,3 +71,79 @@ if __name__ == "__main__":
         print("\nfinal full design:")
         for name, value in problem.space.as_dict(best).items():
             print(f"  {name:8s} = {value:.4g}")
+
+
+#: chained spec schedule: each stage tightens the named bounds toward the
+#: final sign-off values (the last stage is the untouched spec sheet)
+STAGES = [
+    ("warmup", {"dc_gain_db": 35.0, "gbw_hz": 1.0e6, "psrr_db": 20.0,
+                "phase_margin_deg": 40.0}),
+    ("mid", {"gbw_hz": 1.5e6, "psrr_db": 25.0}),
+    ("signoff", {}),
+]
+
+
+def staged_problem(base, label, overrides):
+    """A copy of ``base`` with some spec bounds relaxed (shared space)."""
+    staged = copy.copy(base)
+    staged.specs = [replace(spec, bound=overrides.get(spec.name, spec.bound))
+                    for spec in base.specs]
+    staged.name = f"{base.name}:{label}"
+    return staged
+
+
+def corner_flow(budget_per_stage, seed):
+    circuit = LDORegulator()
+    base = circuit.problem()
+    nominal = np.array([circuit.nominal()[name] for name in base.space.names])
+    scenarios = ScenarioSet.typical()
+    print("sign-off corners:")
+    for corner in scenarios:
+        print(f"  {corner.describe()}")
+
+    warm = None
+    history = None
+    total_designs = 0
+    with EvalEngine() as engine:
+        for label, overrides in STAGES:
+            problem = CornerProblem(staged_problem(base, label, overrides),
+                                    scenarios, aggregate="worst",
+                                    gate_margin=0.5, gate_warmup=4)
+            optimizer = DNNOpt(problem, budget=budget_per_stage, seed=seed,
+                               n_init=8, initial_designs=nominal[None, :],
+                               critic_epochs=5, actor_epochs=5,
+                               stop_when_feasible=True)
+            history = Study(optimizer, engine=engine, warm_start=warm).run()
+            total_designs += history.n_evals
+            stats = history.summary()["scenarios"]
+            first = history.evals_to_first_feasible
+            print(f"\nstage {label!r}: {history.n_evals} designs, "
+                  f"worst-case feasible at "
+                  f"{first if first is not None else '>' + str(history.n_evals)}")
+            print(f"  fan-out: {stats['fanned_out']} full, {stats['gated']} "
+                  f"gated -> {stats['corner_sims_saved']} corner sims saved")
+            # the next stage starts from this stage's archive
+            warm = WarmStart.from_history(history)
+
+    sims = engine.counters_snapshot()["n_sim_calls"]
+    print(f"\nchained flow: {total_designs} designs, {sims} corner-level "
+          f"simulations across {len(STAGES)} stages")
+    if history is not None and history.any_feasible:
+        best = history.X[history.best_feasible_index]
+        print("\nfinal design (feasible at every sign-off corner):")
+        for name, value in base.space.as_dict(best).items():
+            print(f"  {name:8s} = {value:.4g}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--corners", action="store_true",
+                        help="chained spec flow, worst-case over PVT corners")
+    parser.add_argument("--budget", type=int, default=40,
+                        help="per-stage design budget for --corners")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    if args.corners:
+        corner_flow(args.budget, args.seed)
+    else:
+        nominal_flow()

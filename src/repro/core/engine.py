@@ -378,7 +378,15 @@ class EvalEngine:
         path goes through the same in-flight registry as the pipelined one
         (previously it raced a concurrent submit of the same design into a
         second simulation whose result clobbered the first in the cache).
+
+        Scenario wrappers (:mod:`repro.scenarios`) are recognized by their
+        ``scenario_evaluate`` hook and fan each design out to per-variant
+        engine batches instead of being dispatched (and fingerprinted)
+        directly — duck-typed so this module never imports the subsystem.
         """
+        fan = getattr(problem, "scenario_evaluate", None)
+        if fan is not None:
+            return fan(self, X)
         X = problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         token = self._problem_token(problem)
         keys = [self._key(token, x) for x in X]
@@ -464,7 +472,14 @@ class EvalEngine:
         double-count concurrent windows (the process-global simulator
         counters cannot be attributed per dispatch); the cache/dedup/call
         counters stay exact.
+
+        Scenario wrappers submit through their own ``scenario_submit`` hook,
+        which returns a duck-typed handle driving the per-variant fan-out;
+        :meth:`gather` routes it back to the wrapper.
         """
+        fan = getattr(problem, "scenario_submit", None)
+        if fan is not None:
+            return fan(self, X)
         X = problem.space.canonical(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         token = self._problem_token(problem)
         keys = [self._key(token, x) for x in X]
@@ -498,13 +513,19 @@ class EvalEngine:
                     waits[key] = future
         return EvalHandle(keys, resolved, waits)
 
-    def gather(self, handle: EvalHandle) -> np.ndarray:
+    def gather(self, handle) -> np.ndarray:
         """Rows for a submitted batch, in input order (blocks until done).
 
         Raises whatever the dispatch raised; a batch cancelled by
         :meth:`close` before it started raises a ``RuntimeError`` instead
         of blocking forever on a ticket nobody will redeem.
+
+        Duck-typed scenario handles (anything that is not an
+        :class:`EvalHandle`) gather themselves against this engine — that
+        is where the scenario fan-out's second wave runs.
         """
+        if not isinstance(handle, EvalHandle):
+            return handle.gather(self)
         rows = dict(handle.resolved)
         for key, future in handle.waits.items():
             try:

@@ -180,6 +180,11 @@ class OptimizationHistory:
             out["n_warm"] = self.n_warm
         if self.engine_stats is not None:
             out["engine"] = dict(self.engine_stats)
+        stats = getattr(self.problem, "scenario_stats", None)
+        if callable(stats):
+            # Scenario wrappers (repro.scenarios) report corner fan-out and
+            # adaptive-gating counters — corners simulated vs. skipped.
+            out["scenarios"] = stats()
         return out
 
     # -- JSON round-trip -----------------------------------------------------
@@ -321,6 +326,13 @@ class Optimizer(ABC):
         for x, f_raw in zip(X, F):
             self.history.append(x, f_raw)
             self._observe(x, f_raw)
+        observe = getattr(self.problem, "scenario_observe", None)
+        if observe is not None:
+            # Scenario wrappers derive their adaptive-gating state from
+            # *told* rows only, so it rebuilds identically wherever tell is
+            # driven from — the run loop, a warm-start transfer, or a
+            # checkpoint resume replaying the recorded prefix.
+            observe(X, F)
 
     def _ask(self, k: int | None) -> np.ndarray:
         raise NotImplementedError(

@@ -108,6 +108,7 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
                warm_start=None,
                cache_dir: str | None = None,
                fleet=None,
+               fleet_kwargs: dict | None = None,
                ) -> list[OptimizationHistory]:
     """Run ``n_trials`` independent optimizations with seeds
     ``base_seed, base_seed+1, ...`` (a fresh problem instance per trial).
@@ -134,12 +135,19 @@ def run_trials(factory: OptimizerFactory, problem_factory: Callable[[], object],
     the worker fleet under the fair scheduler.  Mutually exclusive with
     ``engine_factory``.  The coordinator lives in *this* process, so
     parallel trials run on the thread pool rather than forked workers.
+    ``fleet_kwargs`` forwards per-tenant scheduling knobs to every trial's
+    ``fleet.engine()`` call — e.g. ``{"priority": 2.0, "quota": 300,
+    "deadline_s": 600}``; a trial that exhausts its quota ends gracefully
+    with its partial history (the Study catches ``BudgetExhausted``).
     """
     workers = max(1, int(workers))
+    if fleet_kwargs and fleet is None:
+        raise ValueError("fleet_kwargs requires fleet=")
     if fleet is not None:
         if engine_factory is not None:
             raise ValueError("pass either fleet= or engine_factory=, not both")
-        engine_factory = fleet.engine
+        engine_factory = (partial(fleet.engine, **fleet_kwargs)
+                          if fleet_kwargs else fleet.engine)
     elif engine_factory is None and cache_dir:
         engine_factory = partial(_cache_engine, os.fspath(cache_dir))
     context = (factory, problem_factory, int(budget), int(base_seed),
@@ -210,6 +218,7 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                        warm_start=None,
                        cache_dir: str | None = None,
                        fleet=None,
+                       fleet_kwargs: dict | None = None,
                        ) -> dict[str, list[OptimizationHistory]]:
     """Run every algorithm with the multi-trial protocol.
 
@@ -234,5 +243,5 @@ def compare_algorithms(optimizers: dict[str, OptimizerFactory],
                                    engine_factory=engine_factory,
                                    pipeline_depth=pipeline_depth,
                                    warm_start=warm_start, cache_dir=cache_dir,
-                                   fleet=fleet)
+                                   fleet=fleet, fleet_kwargs=fleet_kwargs)
     return results

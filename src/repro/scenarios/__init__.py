@@ -1,0 +1,45 @@
+"""Scenario diversity: PVT corners, mismatch Monte Carlo, yield-aware FoM.
+
+The paper sizes at nominal conditions; real sign-off is worst-case over
+process/voltage/temperature corners and local mismatch.  This subsystem
+wraps any existing :class:`~repro.problems.base.OptimizationProblem` in a
+scenario view — :class:`CornerProblem` (declarative PVT corner fan-out) or
+:class:`MonteCarloProblem` (seeded per-device Pelgrom mismatch draws) —
+without touching circuit classes, and optimizes the aggregated
+(worst-case or quantile) figure of merit directly::
+
+    from repro.scenarios import CornerProblem, ScenarioSet
+
+    robust = CornerProblem(circuit.problem(), ScenarioSet.typical(),
+                           aggregate="worst", gate_margin=0.5)
+    history = Study(DNNOpt(robust, budget=200, seed=1)).run()
+    print(history.summary()["scenarios"])  # corners simulated vs. gated
+
+Fan-out rides the ``EvalEngine.submit()/gather()`` seams, so corners of
+one design evaluate in parallel across threads, processes or a fleet —
+bit-identical to serial — and every corner variant carries its own engine
+content fingerprint (cache tiers never alias corners).
+"""
+
+from .corners import (DEFAULT_SUPPLIES, PROCESS_CORNERS, REFERENCE_TEMP_C,
+                      Corner, ScenarioSet, process_corner)
+from .problem import (CornerProblem, CornerVariant, MismatchVariant,
+                      MonteCarloProblem, ScenarioProblem)
+from .transform import MismatchSpec, corner_transform, mismatch_transform
+
+__all__ = [
+    "Corner",
+    "ScenarioSet",
+    "process_corner",
+    "PROCESS_CORNERS",
+    "REFERENCE_TEMP_C",
+    "DEFAULT_SUPPLIES",
+    "ScenarioProblem",
+    "CornerProblem",
+    "MonteCarloProblem",
+    "CornerVariant",
+    "MismatchVariant",
+    "MismatchSpec",
+    "corner_transform",
+    "mismatch_transform",
+]

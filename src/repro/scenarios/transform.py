@@ -1,0 +1,129 @@
+"""Netlist-level application of corners and mismatch draws.
+
+Both transforms here are built *on demand* inside a variant problem's
+``evaluate`` (they close over nothing but plain data), and are applied
+through the :func:`repro.spice.netlist.circuit_transform` compile-time
+seam — so any existing circuit problem picks them up without a single
+change to its circuit class.  Devices are matched by duck typing (a
+``model`` attribute with a ``polarity`` field marks a MOSFET, a ``waveform``
+with a ``level`` marks a DC independent source), which keeps this module
+free of heavy :mod:`repro.spice` imports.
+
+Mismatch draws follow the Pelgrom model: per-device threshold and gain
+offsets with sigma proportional to ``1/sqrt(W L M)``.  The *standard
+normal* draw for each device is keyed only by ``(seed, sample index,
+device name)`` — common random numbers across designs — while the sigma
+scaling uses the device geometry, so larger devices genuinely match
+better.  All randomness flows through seeded ``default_rng`` generators
+derived via blake2b, making every draw reproducible across processes and
+platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import replace
+from typing import Any, Callable
+
+import numpy as np
+
+from .corners import Corner
+
+__all__ = ["corner_transform", "mismatch_transform", "MismatchSpec"]
+
+#: Pelgrom threshold-matching coefficient [V * um]: sigma(dVto) for a
+#: 1 um^2 gate.  Representative of a 180 nm-class process.
+DEFAULT_AVT = 5.0e-3
+
+#: Pelgrom relative-gain coefficient [1 * um]: sigma(dKp/Kp) for 1 um^2.
+DEFAULT_AKP = 0.01
+
+
+def _is_mosfet(device: Any) -> bool:
+    model = getattr(device, "model", None)
+    return model is not None and hasattr(model, "polarity")
+
+
+def _scale_supplies(device: Any, corner: Corner) -> None:
+    from ..spice.devices.sources import VoltageSource
+    waveform = getattr(device, "waveform", None)
+    if waveform is None or not hasattr(waveform, "level"):
+        return  # not an independent source, or not a DC waveform
+    if not isinstance(device, VoltageSource):
+        return  # bias current sources keep their levels
+    if device.name.upper() not in corner.supplies:
+        return
+    waveform.level = float(waveform.level) * corner.supply_scale
+
+
+def corner_transform(corner: Corner) -> Callable[[Any], None]:
+    """A circuit transform applying ``corner`` to MOSFETs and supplies.
+
+    MOSFET models are swapped for corner-adjusted copies
+    (:meth:`Corner.model_params`); DC levels of voltage sources named in
+    ``corner.supplies`` are scaled by ``supply_scale``.  The transform
+    mutates the freshly built netlist in place — the compile seam
+    guarantees it runs exactly once per circuit.
+    """
+    def apply(circuit: Any) -> None:
+        for device in circuit.devices:
+            if _is_mosfet(device):
+                device.model = replace(device.model,
+                                       **corner.model_params(device.model))
+            else:
+                _scale_supplies(device, corner)
+    return apply
+
+
+def _standard_draws(seed: int, sample: int, name: str) -> tuple[float, float]:
+    """Two reproducible standard-normal draws for one device.
+
+    Keyed by (seed, sample, device name) only — the same device gets the
+    same draw in every design of a run (common random numbers), which makes
+    Monte Carlo FoM differences between designs reflect sizing, not luck.
+    """
+    digest = hashlib.blake2b(f"{seed}:{sample}:{name}".encode(),
+                             digest_size=8).digest()
+    rng = np.random.default_rng(int.from_bytes(digest, "little"))
+    z = rng.standard_normal(2)
+    return float(z[0]), float(z[1])
+
+
+class MismatchSpec:
+    """Pelgrom mismatch magnitudes for a Monte Carlo scenario."""
+
+    def __init__(self, avt: float = DEFAULT_AVT,
+                 akp: float = DEFAULT_AKP) -> None:
+        if avt < 0 or akp < 0:
+            raise ValueError("mismatch coefficients must be >= 0")
+        self.avt = float(avt)
+        self.akp = float(akp)
+
+    def __repr__(self) -> str:
+        return f"MismatchSpec(avt={self.avt}, akp={self.akp})"
+
+
+def mismatch_transform(seed: int, sample: int,
+                       spec: MismatchSpec) -> Callable[[Any], None]:
+    """A circuit transform applying one seeded mismatch draw (``sample``).
+
+    Every MOSFET gets an independent threshold offset and relative gain
+    error with Pelgrom sigmas ``avt / sqrt(area)`` and ``akp / sqrt(area)``
+    (gate area in um^2, multiplier included).  The relative gain error is
+    floored so a pathological draw can never produce a non-positive kp.
+    """
+    def apply(circuit: Any) -> None:
+        for device in circuit.devices:
+            if not _is_mosfet(device):
+                continue
+            area_um2 = (float(device.w) * 1e6) * (float(device.l) * 1e6) \
+                * float(getattr(device, "m", 1))
+            sigma_scale = 1.0 / math.sqrt(max(area_um2, 1e-12))
+            z_vto, z_kp = _standard_draws(seed, sample, device.name)
+            dvto = z_vto * spec.avt * sigma_scale
+            kp_rel = max(-0.95, z_kp * spec.akp * sigma_scale)
+            device.model = replace(device.model,
+                                   vto=device.model.vto + dvto,
+                                   kp=device.model.kp * (1.0 + kp_rel))
+    return apply

@@ -10,6 +10,9 @@ any conductive path to ground would make the MNA matrix singular).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
+
 import networkx as nx
 
 from .devices.base import Device, DeviceIndex
@@ -20,12 +23,48 @@ from .devices.passives import Capacitor, Inductor, Resistor
 from .devices.sources import CurrentSource, VoltageSource
 from .errors import NetlistError
 
-__all__ = ["Circuit", "CompiledCircuit", "GROUND_NAMES"]
+__all__ = ["Circuit", "CompiledCircuit", "GROUND_NAMES", "active_transform",
+           "circuit_transform"]
 
 GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss!", "ground"})
 
 #: device types that provide a DC-conductive path between two of their nodes
 _CONDUCTIVE = (Resistor, VoltageSource, Inductor, Diode, VCVS, CCVS)
+
+# Thread-local compile-time transform (see ``circuit_transform``).  Thread-
+# local rather than global so concurrent evaluations on the thread backend
+# can each apply a *different* scenario without interfering.
+_TRANSFORM_STATE = threading.local()
+
+
+def active_transform():
+    """The compile-time circuit transform installed on this thread, or None."""
+    return getattr(_TRANSFORM_STATE, "fn", None)
+
+
+@contextmanager
+def circuit_transform(fn):
+    """Install a thread-local transform applied to circuits at compile time.
+
+    While the context is active, every :class:`Circuit` compiled *on this
+    thread* is passed through ``fn(circuit)`` exactly once, right before
+    index assignment.  This is the seam :mod:`repro.scenarios` uses to apply
+    process/voltage/temperature corners and mismatch draws to any existing
+    circuit problem without touching the circuit classes: the transform
+    mutates device parameters (MOSFET models, DC source levels) on the
+    freshly built netlist, and the stamping plan then bakes them normally.
+
+    Contexts nest; the previous transform is restored on exit.  A circuit
+    remembers which transform it was compiled under, so recompiles after
+    netlist edits never re-apply (and thus never double-scale) the same
+    transform.
+    """
+    previous = getattr(_TRANSFORM_STATE, "fn", None)
+    _TRANSFORM_STATE.fn = fn
+    try:
+        yield
+    finally:
+        _TRANSFORM_STATE.fn = previous
 
 
 class CompiledCircuit:
@@ -147,6 +186,7 @@ class Circuit:
         self.devices: list[Device] = []
         self._names: set[str] = set()
         self._compiled: CompiledCircuit | None = None
+        self._transformed = None  # transform already applied to this netlist
 
     # ------------------------------------------------------------------
     def add(self, device: Device) -> Device:
@@ -180,6 +220,12 @@ class Circuit:
         if self._compiled is None:
             if not self.devices:
                 raise NetlistError("cannot compile an empty circuit")
+            fn = active_transform()
+            if fn is not None and self._transformed is not fn:
+                # one-shot per netlist: recompiles triggered by later edits
+                # must not re-scale already-transformed device parameters
+                self._transformed = fn
+                fn(self)
             self._compiled = CompiledCircuit(self)
         return self._compiled
 
