@@ -322,22 +322,27 @@ class EvalEngine:
             with self._state_lock:
                 self._inflight.clear()
         with self._state_lock:
-            self._close_worker_pool()
+            stale = self._retire_worker_pool_locked()
+        if stale is not None:
+            stale.shutdown(wait=True)
         if self._disk is not None:
             self._disk.close()
 
-    def _close_worker_pool(self) -> None:  # holds: _state_lock
-        """Shut down only the thread/process worker pool.
+    def _retire_worker_pool_locked(self):  # holds: _state_lock
+        """Detach the thread/process worker pool; the caller shuts it down.
 
         Separate from :meth:`close` because a problem switch under the
         process backend retires the old pool from *inside* a submit-pool
         dispatch thread — which must never try to shut down (and join) the
-        submit pool it is running on.
+        submit pool it is running on.  The swap happens under
+        ``_state_lock`` so concurrent callers agree on one owner, but the
+        blocking ``shutdown(wait=True)`` (a pool join) is the caller's job
+        *after releasing the lock* — holding the hot state lock across a
+        join stalls every concurrent dispatch/counter fold (RP07).
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_token = None
+        stale, self._executor = self._executor, None
+        self._executor_token = None
+        return stale
 
     def clear_cache(self) -> None:
         """Drop every in-memory cache entry (thread-safe).
@@ -749,20 +754,29 @@ class EvalEngine:
         # overlapping submit() dispatch threads agree on one pool, and
         # retiring only the worker pool (never the submit pool this thread
         # may be running on).
-        with self._state_lock:
-            if self._executor is not None and self._executor_token != token:
-                self._close_worker_pool()
-            if self._executor is None:
-                import multiprocessing as mp
-                kwargs = {}
-                if "fork" in mp.get_all_start_methods():
-                    kwargs["mp_context"] = mp.get_context("fork")
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers, initializer=_init_worker,
-                    initargs=(problem,), **kwargs)
-                self._executor_token = token
-                self.n_pool_builds += 1
-            return self._executor
+        while True:
+            with self._state_lock:
+                stale = None
+                if (self._executor is not None
+                        and self._executor_token != token):
+                    stale = self._retire_worker_pool_locked()
+                if stale is None:
+                    if self._executor is None:
+                        import multiprocessing as mp
+                        kwargs = {}
+                        if "fork" in mp.get_all_start_methods():
+                            kwargs["mp_context"] = mp.get_context("fork")
+                        self._executor = ProcessPoolExecutor(
+                            max_workers=self.workers, initializer=_init_worker,
+                            initargs=(problem,), **kwargs)
+                        self._executor_token = token
+                        self.n_pool_builds += 1
+                    return self._executor
+            # The retired pool joins its workers outside the lock (RP07):
+            # a concurrent dispatch thread folding per-chunk counters must
+            # not stall behind the old pool's shutdown.  Loop to re-check —
+            # another thread may have built the new pool meanwhile.
+            stale.shutdown(wait=True)
 
     def _async_dispatcher(self):
         with self._state_lock:

@@ -68,6 +68,14 @@ design is evaluated by an unchanged serial engine on *some* worker, so a
 tenant's optimizer history is bit-identical to a serial run regardless of
 scheduling, host churn, or what the other tenants are doing — pinned by
 ``tests/core/test_fleet.py``.
+
+Concurrency checking: this module's lock nesting (``FleetCoordinator._cond``
+over ``_DispatchState._lock``, the pump's engine-lock handoffs) is part of
+the static lock-order graph (``python -m repro.tools.flow src --check``,
+rules RP06/RP07) and is validated at runtime by the lock sanitizer
+(``REPRO_SANITIZE=1``; classes listed in
+``repro.tools.protocol_schema.SANITIZED_CLASSES``).  When adding or nesting
+a lock here, follow the "Adding a lock" checklist in the README.
 """
 
 from __future__ import annotations
@@ -149,6 +157,12 @@ class WorkerRegistry:
                 del self._seen[address]
                 self.n_drops += 1
             return sorted(self._static | set(self._seen))
+
+    def counters(self) -> dict[str, int]:
+        """Join/age-out counters, read under the lock (bare attribute reads
+        from another object would race :meth:`register`/:meth:`live`)."""
+        with self._lock:
+            return {"joins": self.n_joins, "ageouts": self.n_drops}
 
     def __len__(self) -> int:
         return len(self.live())
@@ -763,8 +777,7 @@ class FleetCoordinator:
                 "degraded_designs": degraded_designs,
                 "chunk_latency": latency,
                 "registry": {"live": self.registry.live(),
-                             "joins": self.registry.n_joins,
-                             "ageouts": self.registry.n_drops}}
+                             **self.registry.counters()}}
 
     def chunk_latencies(self) -> list[float]:
         """Recent completed-chunk wall latencies (first pick → first reply)."""

@@ -92,7 +92,12 @@ The op table above is normative and declared once, machine-readably, in
 :mod:`repro.tools.protocol_schema`; rule **RP04** of the contract linter
 (``python -m repro.tools.lint src``, see README "Static analysis &
 contracts") cross-checks every literal frame and every handler dispatch in
-the tree against it, so adding an op starts in the schema module.
+the tree against it, so adding an op starts in the schema module.  The
+same schema module's ``SANITIZED_CLASSES`` table drives the runtime lock
+sanitizer (``REPRO_SANITIZE=1``), which cross-checks this module's lock
+nesting (``_v1_lock`` over ``_lock``, ``_eval_lock`` over the engine's
+``_state_lock``) against the static lock-order graph
+(``python -m repro.tools.flow src --check``, rules RP06/RP07).
 """
 
 from __future__ import annotations
@@ -609,10 +614,15 @@ class EvalWorkerServer:
         with self._eval_lock:
             profile = _spice_counters()
             before = profile.snapshot() if profile is not None else None
-            sims_before = self._engine.n_sim_calls
+            # counters_snapshot() reads under the engine's _state_lock; a
+            # bare self._engine.n_sim_calls would race dispatch threads
+            # (cross-object access RP02 cannot see — the runtime sanitizer
+            # flagged it).
+            sims_before = self._engine.counters_snapshot()["n_sim_calls"]
             F = self._engine.evaluate_batch(problem, X)
             counters = profile.delta(before) if profile is not None else {}
-            n_sims = self._engine.n_sim_calls - sims_before
+            n_sims = (self._engine.counters_snapshot()["n_sim_calls"]
+                      - sims_before)
         return {"ok": True, "F": F.tolist(),
                 "counters": {k: v for k, v in counters.items() if v},
                 "n_sims": n_sims}

@@ -1,6 +1,6 @@
 """Repo-contract linter: AST-based static analysis for ``src/``.
 
-Five checkers enforce the contracts that this repo's correctness rests on
+Eight checkers enforce the contracts that this repo's correctness rests on
 (see README "Static analysis & contracts"):
 
 ========  ============================================================
@@ -12,12 +12,24 @@ RP03      stamping-plan device contract (``spice/devices/base.py``)
 RP04      wire-protocol frame schema (``repro/tools/protocol_schema.py``)
 RP05      export hygiene: ``__all__`` consistency + runpy-clean entry
           points
+RP06      lock-order: the interprocedural lock acquisition graph must be
+          acyclic (``repro.tools.flow``)
+RP07      blocking-under-lock: no socket/subprocess/join/result/wait or
+          simulator dispatch reachable while a hot lock is held
+RP08      RNG seed-taint: ``default_rng(x)``/``Random(x)`` arguments must
+          be derived from a seed parameter/field/salt (dataflow)
 ========  ============================================================
+
+RP01-RP05 are lexical, per-module; RP06-RP08 are interprocedural finalize
+passes over the whole linted tree, built on :mod:`repro.tools.flow`.
 
 Run it with ``python -m repro.tools.lint [paths...]``; exit code 0 means
 clean, 1 means findings, 2 means usage error.  Waive a single line with
 ``# lint: disable=RP0x`` (inline, or on a comment-only line immediately
-above).  Only the stdlib is used — the linter runs anywhere the repo does.
+above).  ``--baseline FILE`` fails only on findings not in a recorded
+baseline (write one with ``--write-baseline``); ``--format sarif`` emits
+SARIF 2.1.0 for code-scanning UIs.  Only the stdlib is used — the linter
+runs anywhere the repo does.
 """
 
 from __future__ import annotations
@@ -182,10 +194,11 @@ class Rule:
 
 
 def all_rules() -> list[Rule]:
-    from . import rp01, rp02, rp03, rp04, rp05
+    from . import rp01, rp02, rp03, rp04, rp05, rp06, rp07, rp08
 
     return [rp01.Determinism(), rp02.LockDiscipline(), rp03.DeviceContract(),
-            rp04.WireProtocol(), rp05.ExportHygiene()]
+            rp04.WireProtocol(), rp05.ExportHygiene(), rp06.LockOrder(),
+            rp07.BlockingUnderLock(), rp08.RngTaint()]
 
 
 @dataclass
@@ -293,17 +306,84 @@ def _parse_codes(spec: str | None) -> set[str] | None:
     return {tok.strip().upper() for tok in spec.split(",") if tok.strip()}
 
 
+def _baseline_key(f: Finding) -> str:
+    # Line numbers drift with unrelated edits, so the baseline keys on
+    # (rule, path, message) with multiset counts instead.
+    return f"{f.rule}|{f.path}|{f.message}"
+
+
+def write_baseline(path: str, result: LintResult) -> None:
+    """Record the current findings so later runs fail only on new ones."""
+    counts: dict[str, int] = {}
+    for f in result.findings:
+        key = _baseline_key(f)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {"version": 1, "entries": counts}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+def apply_baseline(path: str, result: LintResult) -> int:
+    """Drop findings recorded in the baseline file; returns how many."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    budget = dict(data.get("entries", {}))
+    kept: list[Finding] = []
+    dropped = 0
+    for f in result.findings:
+        key = _baseline_key(f)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            dropped += 1
+        else:
+            kept.append(f)
+    result.findings = kept
+    return dropped
+
+
+def sarif_payload(result: LintResult) -> dict:
+    """Minimal SARIF 2.1.0 document for code-scanning UIs."""
+    rule_ids = sorted({f.rule for f in result.findings})
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-contract-lint",
+                "informationUri": "https://example.invalid/repro.tools.lint",
+                "rules": [{"id": rid} for rid in rule_ids],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                }}],
+            } for f in result.findings],
+        }],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.lint",
-        description="Repo-contract linter (rules RP01-RP05).")
+        description="Repo-contract linter (rules RP01-RP08).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run exclusively")
     parser.add_argument("--ignore", metavar="CODES", default="",
                         help="comma-separated rule codes to skip")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings recorded in FILE; fail only "
+                             "on new ones")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record the current findings to FILE and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     args = parser.parse_args(argv)
@@ -315,20 +395,37 @@ def main(argv: list[str] | None = None) -> int:
 
     result = lint_paths(args.paths, select=_parse_codes(args.select),
                         ignore=_parse_codes(args.ignore) or set())
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result)
+        print(f"baseline: {len(result.findings)} finding(s) recorded to "
+              f"{args.write_baseline}")
+        return 0
+    n_baselined = 0
+    if args.baseline:
+        if not Path(args.baseline).exists():
+            print(f"baseline file not found: {args.baseline}", file=sys.stderr)
+            return 2
+        n_baselined = apply_baseline(args.baseline, result)
+
     if args.format == "json":
         payload = {
             "version": 1,
             "files": result.n_files,
             "waived": result.n_waived,
+            "baselined": n_baselined,
             "findings": [asdict(f) for f in result.findings],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_payload(result), indent=2, sort_keys=True))
     else:
         for finding in result.findings:
             print(finding.render())
+        suffix = f"; {n_baselined} baselined" if n_baselined else ""
         summary = (f"{len(result.findings)} finding(s) in {result.n_files} "
-                   f"file(s); {result.n_waived} waived")
-        print(summary if result.findings or result.n_waived
+                   f"file(s); {result.n_waived} waived{suffix}")
+        print(summary if result.findings or result.n_waived or n_baselined
               else f"clean: {result.n_files} file(s), 0 findings")
     return result.exit_code
 

@@ -24,7 +24,7 @@ from typing import Iterator
 
 import ast
 
-from ..protocol_schema import OPS
+from ..protocol_schema import OPS, ROLES
 from . import Context, Finding, Module, Rule
 
 _OP_KEY = "op"
@@ -135,7 +135,7 @@ class WireProtocol(Rule):
             roles = OPS[op_name].roles
             if len(roles) == 1:
                 present_roles.add(roles[0])
-        whole_tree = {"worker", "registry"} <= present_roles
+        whole_tree = set(ROLES) <= present_roles
         for op_name, (path, line) in sorted(sent.items()):
             if (op_name not in handled
                     and set(OPS[op_name].roles) & present_roles):

@@ -1,0 +1,49 @@
+"""RP06 — lock-order: the global acquisition graph must be acyclic.
+
+Built on :mod:`repro.tools.flow`: every ``with self.<lock>:`` nested inside
+another (directly, or through any resolved call chain) contributes an edge
+``outer -> inner`` to a whole-tree graph whose nodes are class-qualified
+lock attributes (``EvalEngine._state_lock``).  A cycle means two threads
+can acquire the same pair of locks in opposite orders — the classic
+deadlock — so each cycle is reported once, with the witness site of every
+edge on it, at the first edge's location.
+
+Emit the graph itself for review with
+``python -m repro.tools.flow src --format dot|json`` (CI uploads it as an
+artifact); the runtime sanitizer (``repro.tools.sanitize``) records the
+*observed* acquisition order under ``REPRO_SANITIZE=1`` and checks it is a
+subset of this static graph, so each side catches the other's blind spots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .. import flow
+from . import Context, Finding, Module, Rule
+
+
+class LockOrder(Rule):
+    code = "RP06"
+    name = "lock-order"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        flow.register(ctx, module)
+        return iter(())
+
+    def finalize(self, ctx: Context) -> Iterator[Finding]:
+        analysis = flow.analysis_of(ctx)
+        graph = analysis.lock_graph()
+        for cycle in graph.cycles():
+            pairs = list(zip(cycle, cycle[1:]))
+            witnesses = [graph.edges[p] for p in pairs if p in graph.edges]
+            if not witnesses:  # pragma: no cover — cycles come from edges
+                continue
+            steps = "; ".join(
+                f"{src}->{dst} at {w.path}:{w.line} ({w.via} in {w.func})"
+                for (src, dst), w in zip(pairs, witnesses))
+            first = witnesses[0]
+            yield Finding(
+                self.code, first.path, first.line, 0,
+                f"lock-order cycle {' -> '.join(cycle)}; acquire these locks "
+                f"in one global order or collapse them [{steps}]")

@@ -1,0 +1,37 @@
+"""RP08 — RNG seed provenance: dataflow upgrade of RP01's lexical check.
+
+RP01 flags an *unseeded* ``default_rng()`` / ``Random()``.  RP08 checks the
+seeded ones: the argument must be **reachable from a seed source** —
+a parameter or variable whose name mentions seed/salt/entropy, an attribute
+or checkpoint field of such a name (``self.seed``, ``ckpt["seed"]``), a
+literal constant (a hard-coded seed is deterministic), or any expression
+derived from one (hashes, ``int.from_bytes``, f-strings, arithmetic,
+helper-function returns) — tracked through assignments, attributes, and
+resolved call boundaries by :mod:`repro.tools.flow`.
+
+What it catches that RP01 cannot: ``default_rng(worker_id)``,
+``Random(os.getpid())``, ``default_rng(counter)`` — seeded *syntactically*
+but from a value with no provenance back to the run's seed, which silently
+breaks the bit-identical-histories guarantee across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .. import flow
+from . import Context, Finding, Module, Rule
+
+
+class RngTaint(Rule):
+    code = "RP08"
+    name = "rng-seed-taint"
+
+    def check(self, module: Module, ctx: Context) -> Iterator[Finding]:
+        flow.register(ctx, module)
+        return iter(())
+
+    def finalize(self, ctx: Context) -> Iterator[Finding]:
+        analysis = flow.analysis_of(ctx)
+        for path, line, col, message in analysis.rng_findings():
+            yield Finding(self.code, path, line, col, message)

@@ -61,3 +61,40 @@ OPS: dict[str, OpSpec] = {
 
 #: Keys legal on any request regardless of op (v2 multiplexing).
 UNIVERSAL_KEYS = frozenset({"op", "id"})
+
+#: Every server role appearing in ``OpSpec.roles`` — the single source for
+#: RP04's whole-tree reconciliation gate and for fixtures/tests that need
+#: the role universe (previously duplicated as literals in both).
+ROLES: tuple[str, ...] = ("worker", "registry")
+
+#: The concurrency-stack classes the runtime lock sanitizer
+#: (:mod:`repro.tools.sanitize`, ``REPRO_SANITIZE=1``) instruments:
+#: dotted module -> class name -> lock attributes to wrap.  This is also
+#: the class universe whose observed lock-order edges are diffed against
+#: the static graph from :mod:`repro.tools.flow` (RP06), so keep it in
+#: sync with the locks those modules create — the "adding a lock"
+#: checklist in the README points here.
+SANITIZED_CLASSES: dict[str, dict[str, tuple[str, ...]]] = {
+    "repro.core.engine": {
+        "EvalEngine": ("_state_lock",),
+    },
+    "repro.core.service": {
+        "MultiplexedConnection": ("_lock", "_send_lock", "_v1_lock"),
+        "EvalWorkerServer": ("_problems_lock", "_eval_lock"),
+        "RemoteDispatcher": ("_lock",),
+    },
+    "repro.core.fleet": {
+        "WorkerRegistry": ("_lock",),
+        "FleetCoordinator": ("_cond",),
+        "_HostPump": ("_conn_lock",),
+        "_DispatchState": ("_lock",),
+    },
+    "repro.core.diskcache": {
+        "DiskCache": ("_lock",),
+    },
+    "repro.core.chaos": {
+        "FaultPlan": ("_lock",),
+        "ChaosProxy": ("_lock",),
+        "_Session": ("_lock",),
+    },
+}

@@ -1,0 +1,417 @@
+"""Runtime lock sanitizer: the dynamic half of the RP06/RP07 story.
+
+Enable with ``REPRO_SANITIZE=1`` (the tests' ``conftest.py`` calls
+:func:`install` and cross-checks at session end).  Static analysis
+(:mod:`repro.tools.flow`) can only see locks the AST resolver reaches;
+runtime can only see orders that actually executed.  Diffing the two makes
+each side catch the other's blind spots:
+
+* every lock of the classes in
+  :data:`repro.tools.protocol_schema.SANITIZED_CLASSES` is wrapped in a
+  recording proxy; each acquisition while other locks are held records an
+  *observed* lock-order edge ``held -> acquired`` (re-entrant RLock
+  acquisitions are not edges);
+* every attribute annotated ``# guarded by: <lock>`` (parsed from source
+  with the same machinery RP02 uses) becomes a checking descriptor: an
+  access from repo code without the guard lock held — and not on an
+  ``# lint: disable=RP02`` waived line — records a violation;
+* :func:`check_against_static` asserts the observed edge set is a subset
+  of the static lock-order graph, so an order the linter failed to model
+  fails the sanitizer CI job instead of shipping silently.
+
+The wrappers preserve mutual exclusion (they delegate to the *same*
+underlying lock object) and add only a thread-local list walk per
+acquisition, so behaviour — including the repo's bit-identical-histories
+guarantee — is unchanged; only timing shifts slightly.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from .protocol_schema import SANITIZED_CLASSES
+
+_MAX_VIOLATIONS = 200
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One guarded-attribute access without its lock held."""
+
+    cls: str
+    attr: str
+    lock: str
+    path: str
+    line: int
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.cls}.{self.attr} accessed "
+                f"without holding {self.lock}")
+
+
+class _State:
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.edges: dict[tuple[str, str], str] = {}   # (src, dst) -> site
+        self.violations: list[Violation] = []
+        self.installed = False
+        self.waived: set[tuple[str, int]] = set()     # (abspath, lineno)
+        # (abspath, def lineno) -> lock attrs that function declares via
+        # ``# holds:`` — its *callers* own the acquisition.
+        self.holds: dict[tuple[str, int], frozenset[str]] = {}
+
+
+_STATE = _State()
+_tls = threading.local()
+
+
+def _stack() -> list[tuple[int, str]]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+class SanitizedLock:
+    """Order-recording proxy around one Lock/RLock/Condition instance.
+
+    Delegates to the *same* inner lock, so wrapping mid-flight (other
+    threads still holding a reference) preserves mutual exclusion.
+    """
+
+    __slots__ = ("_inner", "name")
+
+    def __init__(self, inner: Any, name: str) -> None:
+        self._inner = inner
+        self.name = name
+
+    # -- recording helpers -------------------------------------------------
+    def _push(self) -> None:
+        stack = _stack()
+        # Shadow-stack entries key on the inner lock's identity within this
+        # process only — never persisted or compared across runs.
+        inner_id = id(self._inner)  # lint: disable=RP01
+        if not any(eid == inner_id for eid, _ in stack):
+            held: list[str] = []
+            seen: set[str] = set()
+            for _, name in stack:
+                if name != self.name and name not in seen:
+                    held.append(name)
+                    seen.add(name)
+            if held:
+                frame = sys._getframe(2)
+                site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+                with _STATE.mutex:
+                    for src in held:
+                        _STATE.edges.setdefault((src, self.name), site)
+        stack.append((inner_id, self.name))
+
+    def _pop(self) -> bool:
+        stack = _stack()
+        inner_id = id(self._inner)  # lint: disable=RP01
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][0] == inner_id:
+                del stack[i]
+                return True
+        return False
+
+    def held_by_current_thread(self) -> bool:
+        inner_id = id(self._inner)  # lint: disable=RP01
+        return any(eid == inner_id for eid, _ in _stack())
+
+    # -- lock surface ------------------------------------------------------
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._push()
+        return bool(got)
+
+    def release(self) -> None:
+        self._pop()
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self._inner.__enter__()
+        self._push()
+        return self
+
+    def __exit__(self, *exc: Any) -> Any:
+        self._pop()
+        return self._inner.__exit__(*exc)
+
+    # -- Condition surface -------------------------------------------------
+    def wait(self, timeout: float | None = None) -> bool:
+        # wait() releases the lock while blocked and re-acquires on return;
+        # mirror that in the thread-local stack so guarded accesses by other
+        # code paths of this thread are judged against the truth.  Re-push
+        # only what was popped: a thread that entered the ``with`` through
+        # the raw condition (pre-wrap startup race) has no shadow entry,
+        # and pushing one here would leak it past the raw ``__exit__``.
+        popped = self._pop()
+        try:
+            return bool(self._inner.wait(timeout))
+        finally:
+            if popped:
+                self._push()
+
+    def wait_for(self, predicate: Callable[[], Any],
+                 timeout: float | None = None) -> Any:
+        # Kept held on the shadow stack: the predicate runs with the lock
+        # re-acquired, and this thread is blocked in between anyway.
+        return self._inner.wait_for(predicate, timeout)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)
+
+    def __repr__(self) -> str:
+        return f"<SanitizedLock {self.name} of {self._inner!r}>"
+
+
+def _in_repo(path: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    return "/repro/" in norm and "/tools/lint" not in norm
+
+
+def _record_violation(cls_name: str, attr: str, lock_attr: str) -> None:
+    # _record_violation <- _check_guard <- descriptor <- access site
+    frame = sys._getframe(3)
+    path = frame.f_code.co_filename
+    if not _in_repo(path):
+        return  # only repo-code accesses count; tests poke state on purpose
+    lineno = frame.f_lineno
+    if (os.path.abspath(path), lineno) in _STATE.waived:
+        return
+    # Walk outward to the repo entry frame of this call chain.  If it is a
+    # ``# holds: <lock>`` method invoked directly from outside the tree
+    # (tests exercising internals), the external caller assumed the
+    # contract — the same exemption the static RP02 check grants.
+    entry = frame
+    walker = frame.f_back
+    while walker is not None and _in_repo(walker.f_code.co_filename):
+        entry = walker
+        walker = walker.f_back
+    code = entry.f_code
+    declared = _STATE.holds.get(
+        (os.path.abspath(code.co_filename), code.co_firstlineno))
+    if walker is not None and declared is not None and lock_attr in declared:
+        return
+    with _STATE.mutex:
+        if len(_STATE.violations) < _MAX_VIOLATIONS:
+            _STATE.violations.append(Violation(
+                cls_name, attr, lock_attr, path, lineno))
+
+
+class _GuardedDescriptor:
+    """Data descriptor enforcing ``# guarded by:`` at runtime.
+
+    The value lives in the instance ``__dict__`` under the same name (a
+    data descriptor takes precedence on lookup); checks only start once
+    the wrapped ``__init__`` has marked the instance ready — construction
+    happens-before any concurrent access, same exemption RP02 grants.
+    """
+
+    __slots__ = ("attr", "lock_attr", "cls_name")
+
+    def __init__(self, attr: str, lock_attr: str, cls_name: str) -> None:
+        self.attr = attr
+        self.lock_attr = lock_attr
+        self.cls_name = cls_name
+
+    def _check_guard(self, obj: Any) -> None:
+        d = obj.__dict__
+        if not d.get("_repro_sanitize_ready"):
+            return
+        lock = d.get(self.lock_attr)
+        if not isinstance(lock, SanitizedLock) \
+                or lock.held_by_current_thread():
+            return
+        # Shadow stack says "not held" — double-check against the inner
+        # lock before reporting: a thread that acquired the raw object
+        # (pre-wrap startup race) holds the lock without a shadow entry.
+        # Erring towards "held when anyone holds it" trades a sliver of
+        # detection for zero false positives.
+        inner = lock._inner
+        owned = getattr(inner, "_is_owned", None)
+        if owned is not None:
+            if owned():
+                return
+        else:
+            locked = getattr(inner, "locked", None)
+            if locked is not None and locked():
+                return
+        _record_violation(self.cls_name, self.attr, self.lock_attr)
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            value = obj.__dict__[self.attr]
+        except KeyError:
+            raise AttributeError(self.attr) from None
+        self._check_guard(obj)
+        return value
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        self._check_guard(obj)
+        obj.__dict__[self.attr] = value
+
+    def __delete__(self, obj: Any) -> None:
+        self._check_guard(obj)
+        obj.__dict__.pop(self.attr, None)
+
+
+def _collect_annotations(module: Any) -> tuple[dict[str, dict[str, str]],
+                                               set[int]]:
+    """(class -> attr -> lock) guard table + RP02-waived line numbers.
+
+    Also registers every ``# holds:`` function of the module in
+    ``_STATE.holds`` for the entry-contract exemption above.
+    """
+    from .flow import FlowAnalysis
+    from .lint import Module, parse_module
+
+    path = getattr(module, "__file__", None)
+    if path is None:  # pragma: no cover — SANITIZED_CLASSES are file-backed
+        return {}, set()
+    parsed = parse_module(path)
+    if not isinstance(parsed, Module):  # pragma: no cover
+        return {}, set()
+    analysis = FlowAnalysis([parsed])
+    guards = {
+        name: dict(infos[0].guarded)
+        for name, infos in analysis.classes.items() if infos
+    }
+    abspath = os.path.abspath(path)
+    for fn in analysis.functions.values():
+        if fn.entry_holds:
+            lines = {fn.node.lineno}
+            lines.update(d.lineno for d in fn.node.decorator_list)
+            held = frozenset(h.rpartition(".")[2] for h in fn.entry_holds)
+            for line in lines:
+                _STATE.holds[(abspath, line)] = held
+    waived = {line for line, codes in parsed._waived.items()
+              if "RP02" in codes or "RP07" in codes}
+    return guards, waived
+
+
+def _wrap_class(cls: type, lock_attrs: tuple[str, ...],
+                guarded: dict[str, str]) -> None:
+    if getattr(cls, "_repro_sanitize_wrapped", False):
+        return
+    orig_init = cls.__init__
+
+    def init(self: Any, *args: Any, **kwargs: Any) -> None:
+        orig_init(self, *args, **kwargs)
+        for attr in lock_attrs:
+            inner = getattr(self, attr, None)
+            if inner is not None and not isinstance(inner, SanitizedLock):
+                setattr(self, attr,
+                        SanitizedLock(inner, f"{cls.__name__}.{attr}"))
+        if hasattr(self, "__dict__"):
+            self.__dict__["_repro_sanitize_ready"] = True
+
+    init.__name__ = orig_init.__name__
+    init.__qualname__ = getattr(orig_init, "__qualname__", orig_init.__name__)
+    init.__doc__ = orig_init.__doc__
+    cls.__init__ = init  # type: ignore[method-assign]
+    cls._repro_sanitize_wrapped = True  # type: ignore[attr-defined]
+
+    if "__slots__" in vars(cls):
+        return  # no instance __dict__ to back a checking descriptor
+    for attr, lock_attr in guarded.items():
+        if attr in lock_attrs or attr.startswith("__"):
+            continue
+        setattr(cls, attr, _GuardedDescriptor(attr, lock_attr, cls.__name__))
+
+
+def install() -> None:
+    """Instrument every class in ``SANITIZED_CLASSES`` (idempotent)."""
+    if _STATE.installed:
+        return
+    _STATE.installed = True
+    for module_name, classes in SANITIZED_CLASSES.items():
+        module = importlib.import_module(module_name)
+        guards, waived = _collect_annotations(module)
+        path = os.path.abspath(module.__file__ or "")
+        _STATE.waived.update((path, line) for line in waived)
+        for cls_name, lock_attrs in classes.items():
+            cls = getattr(module, cls_name)
+            _wrap_class(cls, lock_attrs, guards.get(cls_name, {}))
+
+
+def installed() -> bool:
+    return _STATE.installed
+
+
+def observed_edges() -> dict[tuple[str, str], str]:
+    """Observed lock-order edges ``(held, acquired) -> first witness site``."""
+    with _STATE.mutex:
+        return dict(_STATE.edges)
+
+
+def violations() -> list[Violation]:
+    with _STATE.mutex:
+        return list(_STATE.violations)
+
+
+def drain_violations() -> list[Violation]:
+    """Return and clear the recorded violations (test isolation)."""
+    with _STATE.mutex:
+        out = list(_STATE.violations)
+        _STATE.violations.clear()
+        return out
+
+
+def probe(obj: Any, attr: str) -> Any:
+    """Deliberately read a guarded attribute from repo code, lock-free.
+
+    Exists for the sanitizer's own smoke test: the access happens *here*,
+    inside the ``repro`` tree, so the violation filter keeps it — a test
+    file reading the attribute directly would be filtered out as test
+    scaffolding.
+    """
+    return getattr(obj, attr)
+
+
+def check_against_static(paths: list[str] | None = None) -> list[str]:
+    """Every observed edge must appear in the static lock-order graph.
+
+    Returns human-readable problem strings (empty list = consistent).
+    """
+    from .flow import analyze_paths
+
+    if paths is None:
+        import repro
+        paths = [str(Path(repro.__file__).parent)]
+    static = set(analyze_paths(paths).lock_graph().edges)
+    problems = []
+    for (src, dst), site in sorted(observed_edges().items()):
+        if (src, dst) not in static:
+            problems.append(
+                f"observed lock-order edge {src} -> {dst} (first at {site}) "
+                "is missing from the static graph — teach repro.tools.flow "
+                "to resolve that call chain, or the RP06 check is blind here")
+    return problems
+
+
+def report() -> dict[str, Any]:
+    """Summary dict: observed edges, violations, install state."""
+    return {
+        "installed": _STATE.installed,
+        "edges": {f"{s} -> {d}": site
+                  for (s, d), site in sorted(observed_edges().items())},
+        "violations": [v.render() for v in violations()],
+    }

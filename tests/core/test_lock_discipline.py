@@ -1,9 +1,10 @@
-"""Regression tests for the RP02 lock-discipline fixes.
+"""Regression tests for the RP02/RP07 lock-discipline fixes.
 
 These pin the concrete behaviours the contract linter forced: snapshot
 reads happen under the owning lock, cross-object counter reads go through
-``EvalEngine.counters_snapshot()``, and fleet ``stats()`` never nests the
-coordinator condition inside an engine's state lock (or vice versa).
+``EvalEngine.counters_snapshot()``, fleet ``stats()`` never nests the
+coordinator condition inside an engine's state lock (or vice versa), and
+retired worker pools are joined with ``_state_lock`` released (RP07).
 """
 
 import threading
@@ -37,6 +38,80 @@ class RecordingLock:
 
     def release(self):
         return self._inner.release()
+
+
+class OwnershipLock(RecordingLock):
+    """RecordingLock that also tracks whether the lock is currently held
+    (single-threaded tests only)."""
+
+    def __init__(self, inner):
+        super().__init__(inner)
+        self.owned = False
+
+    def __enter__(self):
+        result = super().__enter__()
+        self.owned = True
+        return result
+
+    def __exit__(self, *exc):
+        self.owned = False
+        return super().__exit__(*exc)
+
+
+class FakeExecutor:
+    """Stand-in worker pool recording lock ownership at shutdown time."""
+
+    def __init__(self, lock):
+        self._lock = lock
+        self.shutdowns: list[tuple[bool, bool]] = []
+
+    def shutdown(self, wait=False, cancel_futures=False):
+        self.shutdowns.append((wait, self._lock.owned))
+
+
+def test_close_joins_retired_pool_outside_state_lock():
+    # RP07 contract: close() swaps the pool out under _state_lock but runs
+    # the blocking shutdown(wait=True) only after releasing it — a dispatch
+    # thread taking _state_lock must never stall behind the pool join.
+    engine = EvalEngine("serial")
+    lock = OwnershipLock(engine._state_lock)
+    engine._state_lock = lock
+    pool = FakeExecutor(lock)
+    engine._executor = pool
+    engine._executor_token = b"tok"
+    engine.close()
+    assert pool.shutdowns == [(True, False)]
+    assert engine._executor is None
+    assert engine._executor_token is None
+
+
+def test_pool_switch_joins_stale_pool_outside_state_lock():
+    # Same RP07 contract on the _process_executor problem-switch path: the
+    # stale pool bound to the old problem token is joined with _state_lock
+    # released, and the loop re-checks in case another thread rebuilt it.
+    engine = EvalEngine("serial")
+    lock = OwnershipLock(engine._state_lock)
+    engine._state_lock = lock
+    replacement = FakeExecutor(lock)
+
+    class SwitchedPool(FakeExecutor):
+        def shutdown(self, wait=False, cancel_futures=False):
+            super().shutdown(wait, cancel_futures)
+            # Simulate a concurrent thread building the new pool while the
+            # stale one joins: the re-check loop must return it, not build.
+            engine._executor = replacement
+            engine._executor_token = b"new"
+
+    stale = SwitchedPool(lock)
+    engine._executor = stale
+    engine._executor_token = b"old"
+    builds_before = engine.n_pool_builds
+    got = engine._process_executor(Sphere(2), b"new")
+    assert got is replacement
+    assert stale.shutdowns == [(True, False)]
+    assert engine.n_pool_builds == builds_before  # re-check loop, no build
+    engine._executor = None  # keep close() away from the fakes
+    engine.close()
 
 
 def test_counters_snapshot_is_locked_and_consistent():

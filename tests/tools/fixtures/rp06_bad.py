@@ -1,0 +1,37 @@
+"""RP06 bad fixture: two classes acquire each other's locks in opposite
+orders — a classic AB/BA deadlock the lock-order graph reports as a cycle."""
+import threading
+
+
+class Ledger:
+    def __init__(self, journal):
+        self._lock = threading.Lock()
+        self.journal = journal
+
+    def post(self, entry):
+        with self._lock:                     # Ledger._lock ...
+            self.journal.record_entry(entry)  # ... then Journal._lock
+
+    def audit_hook(self):
+        with self._lock:
+            return True
+
+
+class Journal:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ledger = None
+        self.rows = []
+
+    def record_entry(self, entry):
+        with self._lock:
+            self.rows.append(entry)
+
+    def audit(self):
+        with self._lock:                     # Journal._lock ...
+            return self.ledger.audit_hook()  # ... then Ledger._lock: CYCLE
+
+
+def wire(ledger: Ledger, journal: Journal):
+    journal.ledger = ledger
+    return ledger, journal

@@ -1,0 +1,31 @@
+"""RP06 ok fixture: nested acquisition in one consistent global order —
+the lock-order graph has edges but no cycle."""
+import threading
+
+
+class Outer:
+    def __init__(self, inner):
+        self._lock = threading.Lock()
+        self.inner = inner
+
+    def update(self, key, value):
+        with self._lock:                    # always Outer._lock first ...
+            self.inner.store_value(key, value)  # ... then Inner._lock
+
+    def fetch(self, key):
+        with self._lock:
+            return self.inner.load_value(key)
+
+
+class Inner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.table = {}
+
+    def store_value(self, key, value):
+        with self._lock:
+            self.table[key] = value
+
+    def load_value(self, key):
+        with self._lock:
+            return self.table.get(key)

@@ -1,0 +1,40 @@
+"""RP07 bad fixture: blocking calls reachable while a hot lock is held —
+directly, through a helper, and by waiting on a *different* object's
+condition (the held lock is not released by that wait)."""
+import subprocess
+import threading
+import time
+
+
+class Station:
+    def __init__(self, peer):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self.peer = peer
+        self.pending = []
+
+    def poll(self):
+        with self._lock:
+            time.sleep(0.5)            # BAD: sleep while _lock is held
+            return list(self.pending)
+
+    def refresh(self):
+        with self._lock:
+            self._sync_disk()          # BAD: helper blocks under _lock
+
+    def _sync_disk(self):
+        subprocess.run(["sync"], check=False)
+
+    def relay(self):
+        with self._cond:
+            self.peer.wait()           # BAD: waits on peer's condition
+            return True                # while our _cond stays held
+
+
+class Peer:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    def wait(self):
+        with self._cond:
+            self._cond.wait(1.0)

@@ -1,0 +1,33 @@
+"""RP07 ok fixture: the sanctioned shapes — wait on the condition you
+hold, snapshot-then-act outside the lock, and blocking with no lock held."""
+import subprocess
+import threading
+import time
+
+
+class Queue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self.items = []
+
+    def pop(self):
+        with self._cond:
+            while not self.items:
+                self._cond.wait(0.1)   # fine: waiting on the held cond
+            return self.items.pop(0)
+
+    def drain_to_disk(self):
+        with self._cond:
+            batch, self.items = self.items, []   # swap under the lock ...
+        flush_batch(batch)                       # ... block after release
+        return len(batch)
+
+    def idle_poll(self):
+        time.sleep(0.01)               # fine: no lock held
+        with self._cond:
+            return len(self.items)
+
+
+def flush_batch(batch):
+    subprocess.run(["true"], check=False)
+    return batch

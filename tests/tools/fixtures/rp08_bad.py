@@ -1,0 +1,23 @@
+"""RP08 bad fixture: RNG constructed from values with no path back to a
+seed — a process id, a config field, and a helper's tainted return.  Each
+call *looks* seeded (RP01 passes); only dataflow sees the problem."""
+import os
+
+import numpy as np
+
+
+def fresh_entropy():
+    return np.random.default_rng(os.getpid())  # BAD: pid is not a seed
+
+
+def jittered_start(config):
+    return np.random.default_rng(config.timestamp)  # BAD: wall-clock field
+
+
+def forked_stream(run_id):
+    mix = _scramble(run_id)
+    return np.random.default_rng(mix)    # BAD: helper return isn't seeded
+
+
+def _scramble(run_id):
+    return run_id * run_id

@@ -1,0 +1,28 @@
+"""RP08 ok fixture: every RNG argument is reachable from a seed — a
+parameter, an attribute, a derived salt, and a helper's seeded return."""
+import numpy as np
+
+
+class Sampler:
+    def __init__(self, seed):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)      # fine: seed parameter
+
+    def restart(self):
+        return np.random.default_rng(self.seed)     # fine: seed attribute
+
+    def stream(self, worker):
+        salt = self.seed * 1000 + worker
+        return np.random.default_rng(salt)          # fine: derived salt
+
+
+def from_checkpoint(state):
+    return np.random.default_rng(state["rng_seed"])  # fine: seed field
+
+
+def child_rng(seed):
+    return np.random.default_rng(_mix(seed, 7))      # fine: helper of seed
+
+
+def _mix(seed, stream_id):
+    return seed ^ (stream_id * 2654435761)

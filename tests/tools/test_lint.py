@@ -13,13 +13,15 @@ from pathlib import Path
 import pytest
 
 from repro.tools.lint import lint_paths, lint_text, main
-from repro.tools.protocol_schema import OPS, PROTOCOL_VERSION, UNIVERSAL_KEYS
+from repro.tools.protocol_schema import (OPS, PROTOCOL_VERSION, ROLES,
+                                         SANITIZED_CLASSES, UNIVERSAL_KEYS)
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 SRC = Path(__file__).resolve().parents[2] / "src"
-RULES = ("RP01", "RP02", "RP03", "RP04", "RP05")
+RULES = ("RP01", "RP02", "RP03", "RP04", "RP05", "RP06", "RP07", "RP08")
 
-EXPECTED_BAD_COUNTS = {"RP01": 9, "RP02": 2, "RP03": 3, "RP04": 3, "RP05": 2}
+EXPECTED_BAD_COUNTS = {"RP01": 9, "RP02": 2, "RP03": 3, "RP04": 3, "RP05": 2,
+                       "RP06": 1, "RP07": 3, "RP08": 3}
 
 
 def _fixture(rule: str, kind: str) -> str:
@@ -135,6 +137,59 @@ def test_cli_select_ignore_and_list_rules(capsys):
         assert rule in out
 
 
+# ------------------------------------------------------- baseline and sarif
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    bad = _fixture("RP01", "bad")
+    assert main(["--write-baseline", str(baseline), bad]) == 0
+    recorded = json.loads(baseline.read_text())
+    assert recorded["version"] == 1
+    assert sum(recorded["entries"].values()) == EXPECTED_BAD_COUNTS["RP01"]
+    # Same findings again: all baselined, exit clean.
+    assert main(["--baseline", str(baseline), bad]) == 0
+    out = capsys.readouterr().out
+    assert f"{EXPECTED_BAD_COUNTS['RP01']} baselined" in out
+
+
+def test_baseline_still_fails_on_new_findings(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    assert main(["--write-baseline", str(baseline),
+                 _fixture("RP01", "bad")]) == 0
+    # A file with findings the baseline has never seen still fails.
+    assert main(["--baseline", str(baseline), _fixture("RP01", "bad"),
+                 _fixture("RP03", "bad")]) == 1
+    payload_code = main(["--baseline", str(baseline), "--format", "json",
+                         _fixture("RP01", "bad"), _fixture("RP03", "bad")])
+    lines = capsys.readouterr().out
+    payload = json.loads(lines[lines.index("{"):])
+    assert payload_code == 1
+    assert payload["baselined"] == EXPECTED_BAD_COUNTS["RP01"]
+    assert {f["rule"] for f in payload["findings"]} == {"RP03"}
+
+
+def test_missing_baseline_file_is_a_hard_error(tmp_path, capsys):
+    assert main(["--baseline", str(tmp_path / "nope.json"),
+                 _fixture("RP01", "ok")]) == 2
+    capsys.readouterr()
+
+
+def test_sarif_output_shape(capsys):
+    code = main(["--format", "sarif", _fixture("RP03", "bad")])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-contract-lint"
+    assert len(run["results"]) == EXPECTED_BAD_COUNTS["RP03"]
+    for res in run["results"]:
+        assert res["ruleId"] == "RP03"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("rp03_bad.py")
+        assert loc["region"]["startLine"] > 0
+        assert loc["region"]["startColumn"] >= 1
+
+
 # ------------------------------------------------------------------ schema
 
 def test_protocol_schema_is_well_formed():
@@ -142,11 +197,32 @@ def test_protocol_schema_is_well_formed():
     assert UNIVERSAL_KEYS == {"op", "id"}
     for name, spec in OPS.items():
         assert spec.name == name
-        assert set(spec.roles) <= {"worker", "registry"}
+        assert set(spec.roles) <= set(ROLES)
         assert all(isinstance(k, str) for k in spec.required)
     # The ops the service/fleet layers actually speak must stay declared.
     assert {"hello", "put_problem", "eval", "stats", "shutdown",
             "register", "heartbeat", "deregister", "workers"} <= set(OPS)
+
+
+def test_sanitized_classes_table_matches_source():
+    """Every class/lock the sanitizer instruments must exist with that
+    lock attribute — the table in protocol_schema is the single source for
+    the runtime half of the concurrency checks."""
+    import importlib
+
+    from repro.tools.flow import analyze_paths
+
+    for module_name, classes in SANITIZED_CLASSES.items():
+        module = importlib.import_module(module_name)
+        analysis = analyze_paths([module.__file__])
+        for cls_name, lock_attrs in classes.items():
+            assert hasattr(module, cls_name), (module_name, cls_name)
+            infos = analysis.classes.get(cls_name, [])
+            assert infos, f"{module_name}.{cls_name} not seen by flow"
+            declared = set().union(*(i.lock_attrs for i in infos))
+            for attr in lock_attrs:
+                assert attr in declared, \
+                    f"{cls_name}.{attr} is not a lock attribute"
 
 
 # ------------------------------------------------------------------- smoke
